@@ -1,0 +1,128 @@
+"""Shared scenario drivers for the figure-regeneration benchmarks.
+
+Each ``run_*`` function reproduces one experimental setup from section 5
+of the paper and returns the measured series; the ``bench_*`` modules
+wrap them in pytest-benchmark harnesses, print the series in the shape
+the paper reports, and assert the qualitative claims.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.apps import (
+    SIGNAL_FIELD,
+    authentication_app,
+    bandwidth_cap_app,
+    firewall_app,
+    ids_app,
+    learning_switch_app,
+    ring_app,
+)
+from repro.apps.base import App
+from repro.baselines import ReferenceLogic, UncoordinatedLogic
+from repro.netkat.packet import Packet
+from repro.network import (
+    CorrectLogic,
+    Frame,
+    LinkParams,
+    SimNetwork,
+    goodput,
+    install_ping_responders,
+    ping_outcomes,
+    send_bulk,
+    send_ping,
+)
+from repro.network.traffic import PingOutcome
+
+# A 1 Gbit/s link makes the software switch the bottleneck, as in the
+# paper's modified OpenFlow reference switch deployment.
+FAST_LINK = LinkParams(latency=0.001, capacity=1.25e9)
+SWITCH_DELAY = 1e-4  # 100 us per-packet software switching
+
+
+def run_ping_schedule(
+    app: App,
+    logic,
+    schedule: Sequence[Tuple[str, str, float]],
+    horizon: float,
+    seed: int = 7,
+) -> List[PingOutcome]:
+    """Send pings per (src, dst, time) schedule; return their outcomes."""
+    net = SimNetwork(app.topology, logic, seed=seed)
+    install_ping_responders(net)
+    pings = []
+    for ident, (src, dst, at) in enumerate(schedule, start=1):
+        send_ping(net, src, dst, ident, at)
+        pings.append((src, dst, ident, at))
+    net.run(until=horizon)
+    return ping_outcomes(net, pings)
+
+
+def firewall_schedule(n_pings: int = 10, interval: float = 0.4) -> List[Tuple[str, str, float]]:
+    """H1 pings H4 repeatedly (replies exercise the updated reverse path)."""
+    return [("H1", "H4", 1.0 + i * interval) for i in range(n_pings)]
+
+
+def run_firewall_drop_count(delay: float, seed: int) -> int:
+    """One Figure 10 sample: pings dropped by the uncoordinated firewall."""
+    app = firewall_app()
+    logic = UncoordinatedLogic(app.compiled, update_delay=delay)
+    outcomes = run_ping_schedule(
+        app, logic, firewall_schedule(), horizon=30.0, seed=seed
+    )
+    return sum(1 for o in outcomes if not o.succeeded)
+
+
+def run_firewall_correct_drop_count(seed: int) -> int:
+    app = firewall_app()
+    outcomes = run_ping_schedule(
+        app, CorrectLogic(app.compiled), firewall_schedule(), horizon=30.0, seed=seed
+    )
+    return sum(1 for o in outcomes if not o.succeeded)
+
+
+def run_ring_bandwidth(diameter: int, tagged: bool, packets: int = 400) -> float:
+    """One Figure 16(a) sample: goodput through the ring (bytes/sec)."""
+    app = ring_app(diameter)
+    if tagged:
+        logic = CorrectLogic(app.compiled)
+    else:
+        logic = ReferenceLogic(
+            app.compiled.config_for_state(app.compiled.nes.initial_state)
+        )
+    net = SimNetwork(
+        app.topology,
+        logic,
+        seed=5,
+        default_link=FAST_LINK,
+        switch_delay=SWITCH_DELAY,
+    )
+    send_bulk(net, "H1", "H2", packets=packets)
+    net.run(until=600.0)
+    return goodput(net, "H1", "H2")
+
+
+def run_ring_convergence(
+    diameter: int, controller_assist: bool
+) -> Dict[int, float]:
+    """One Figure 16(b) sample: per-switch event discovery time (s)."""
+    app = ring_app(diameter)
+    logic = CorrectLogic(app.compiled, controller_assist=controller_assist)
+    net = SimNetwork(app.topology, logic, seed=5)
+    install_ping_responders(net)
+    event_time = 1.0
+    signal = Frame(
+        packet=Packet({"ip_src": 1, SIGNAL_FIELD: 1, "kind": 0, "ident": 0}),
+        flow=("signal",),
+    )
+    net.inject("H1", signal, at=event_time)
+    # Background ping traffic spreads digests around the ring.
+    for i in range(120):
+        send_ping(net, "H1", "H2", 100 + i, at=0.5 + i * 0.1)
+    net.run(until=30.0)
+    return {
+        switch: learned - event_time
+        for (switch, _event), learned in net.event_learned_at.items()
+        if learned >= event_time
+    }

@@ -1,0 +1,47 @@
+"""Figure 10: stateful firewall -- incorrectly dropped packets vs. the
+uncoordinated controller's update delay.
+
+Paper's series: delay swept 0..5000 ms; 10 runs per point; the
+uncoordinated strategy drops at least one packet even at 0 ms and drops
+more as the delay grows; the correct implementation drops none.
+"""
+
+import pytest
+
+from _scenarios import run_firewall_correct_drop_count, run_firewall_drop_count
+
+DELAYS_MS = [0, 100, 500, 1000, 2000, 3000, 5000]
+RUNS_PER_POINT = 10
+
+
+def sweep():
+    series = []
+    for delay_ms in DELAYS_MS:
+        total = sum(
+            run_firewall_drop_count(delay_ms / 1000.0, seed)
+            for seed in range(RUNS_PER_POINT)
+        )
+        series.append((delay_ms, total))
+    correct_total = sum(
+        run_firewall_correct_drop_count(seed) for seed in range(RUNS_PER_POINT)
+    )
+    return series, correct_total
+
+
+def test_fig10_firewall_delay(benchmark):
+    series, correct_total = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    print("\nFigure 10 -- total dropped packets vs delay "
+          f"({RUNS_PER_POINT} runs per point):")
+    print(f"  {'delay (ms)':>10s}  {'uncoordinated':>14s}  {'correct':>8s}")
+    for delay_ms, dropped in series:
+        print(f"  {delay_ms:>10d}  {dropped:>14d}  {correct_total:>8d}")
+
+    # Claim 1: the correct implementation never drops a packet.
+    assert correct_total == 0
+    # Claim 2: even at zero delay, uncoordinated drops at least one
+    # packet in every run.
+    assert series[0][1] >= RUNS_PER_POINT
+    # Claim 3: drops are monotonically non-decreasing-ish with delay
+    # (compare the endpoints, as the paper's trend line does).
+    assert series[-1][1] >= series[0][1]

@@ -1,0 +1,59 @@
+"""Figure 11: stateful firewall ping timelines, correct vs. incorrect.
+
+Paper's plot: H4->H1 pings fail until H1 contacts H4, then succeed
+immediately (correct); with uncoordinated updates, H1->H4 pings lose
+their replies during the update window.
+"""
+
+import pytest
+
+from _scenarios import run_ping_schedule
+from repro.apps import firewall_app
+from repro.baselines import UncoordinatedLogic
+from repro.network import CorrectLogic
+
+# The paper's interleaved workload: H4->H1 early (must fail), H1->H4
+# (triggers the event), then both directions.
+SCHEDULE = (
+    [("H4", "H1", 0.5)]
+    + [("H1", "H4", 1.0)]
+    + [(pair[0], pair[1], 1.5 + 0.5 * i + 0.1 * j)
+       for i in range(6)
+       for j, pair in enumerate([("H4", "H1"), ("H1", "H4")])]
+)
+
+
+def run_both():
+    app = firewall_app()
+    correct = run_ping_schedule(
+        app, CorrectLogic(app.compiled), SCHEDULE, horizon=20.0
+    )
+    uncoordinated = run_ping_schedule(
+        app,
+        UncoordinatedLogic(app.compiled, update_delay=2.0),
+        SCHEDULE,
+        horizon=20.0,
+    )
+    return correct, uncoordinated
+
+
+def show(label, outcomes):
+    print(f"\nFigure 11 ({label}):")
+    for o in outcomes:
+        status = "OK" if o.succeeded else "drop"
+        print(f"  t={o.sent_at:4.1f}s  {o.src}->{o.dst}  {status}")
+
+
+def test_fig11_firewall_pings(benchmark):
+    correct, uncoordinated = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    show("a: correct", correct)
+    show("b: uncoordinated", uncoordinated)
+
+    # (a) the pre-event H4->H1 ping fails; everything after the event works.
+    assert not correct[0].succeeded
+    assert all(o.succeeded for o in correct[1:])
+    # (b) uncoordinated loses H1->H4 replies during the window ...
+    h1_h4 = [o for o in uncoordinated if o.src == "H1"]
+    assert any(not o.succeeded for o in h1_h4)
+    # ... but converges: the last pings of both directions succeed.
+    assert uncoordinated[-1].succeeded

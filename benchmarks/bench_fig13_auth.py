@@ -1,0 +1,72 @@
+"""Figure 13: authentication (port knocking), correct vs. incorrect.
+
+Paper's plot: H4 fails to reach H3 and H2, knocks H1, still fails on
+H3, knocks H2, and then immediately reaches H3.  Uncoordinated updates
+leave H3 temporarily unreachable even after both knocks.
+"""
+
+import pytest
+
+from _scenarios import run_ping_schedule
+from repro.apps import authentication_app
+from repro.baselines import UncoordinatedLogic
+from repro.network import CorrectLogic
+
+SCHEDULE = [
+    ("H4", "H3", 0.5),
+    ("H4", "H2", 1.0),
+    ("H4", "H1", 1.5),   # knock 1
+    ("H4", "H3", 2.0),   # still blocked (one knock)
+    ("H4", "H1", 2.5),
+    ("H4", "H2", 3.0),   # knock 2 (correct run transitions here)
+    ("H4", "H3", 3.5),   # correct: succeeds immediately
+    ("H4", "H3", 4.0),
+    ("H4", "H2", 4.5),   # uncoordinated retries the second knock
+    ("H4", "H3", 5.0),   # uncoordinated: still blocked (push in flight)
+    ("H4", "H3", 8.5),   # uncoordinated: finally unlocked
+]
+
+
+def run_both():
+    app = authentication_app()
+    correct = run_ping_schedule(
+        app, CorrectLogic(app.compiled), SCHEDULE, horizon=20.0
+    )
+    uncoordinated = run_ping_schedule(
+        app,
+        UncoordinatedLogic(app.compiled, update_delay=2.0),
+        SCHEDULE,
+        horizon=20.0,
+    )
+    return correct, uncoordinated
+
+
+def show(label, outcomes):
+    print(f"\nFigure 13 ({label}):")
+    for o in outcomes:
+        print(f"  t={o.sent_at:4.1f}s  {o.src}->{o.dst}  "
+              f"{'OK' if o.succeeded else 'drop'}")
+
+
+def test_fig13_authentication(benchmark):
+    correct, uncoordinated = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    show("a: correct", correct)
+    show("b: uncoordinated", uncoordinated)
+
+    by_time = {o.sent_at: o for o in correct}
+    # pre-knock probes fail
+    assert not by_time[0.5].succeeded and not by_time[1.0].succeeded
+    # knock 1 succeeds; H3 still blocked with only one knock
+    assert by_time[1.5].succeeded and not by_time[2.0].succeeded
+    # knock 2 succeeds and unlocks H3 immediately
+    assert by_time[3.0].succeeded
+    assert by_time[3.5].succeeded and by_time[4.0].succeeded
+
+    # uncoordinated: the knocks eventually go through, but H3 access
+    # lags behind the program's state (the Figure 13(b) anomaly).
+    u_by_time = {o.sent_at: o for o in uncoordinated}
+    assert u_by_time[1.5].succeeded          # knock 1 accepted
+    assert not u_by_time[3.5].succeeded      # H3 blocked although knocked
+    assert u_by_time[4.5].succeeded          # knock 2 lands post-push
+    assert not u_by_time[5.0].succeeded      # H3 *still* blocked
+    assert u_by_time[8.5].succeeded          # unlocked only after the push

@@ -1,0 +1,49 @@
+"""Figure 14: bandwidth cap (n=10), correct vs. incorrect.
+
+Paper's result: 22 pings sent; the correct implementation completes
+exactly 10; the uncoordinated one completed 15.
+"""
+
+import pytest
+
+from _scenarios import run_ping_schedule
+from repro.apps import bandwidth_cap_app
+from repro.baselines import UncoordinatedLogic
+from repro.network import CorrectLogic
+
+CAP = 10
+TOTAL = 22
+SCHEDULE = [("H1", "H4", 0.5 + i * 0.5) for i in range(TOTAL)]
+
+
+def run_both():
+    app = bandwidth_cap_app(CAP)
+    correct = run_ping_schedule(
+        app, CorrectLogic(app.compiled), SCHEDULE, horizon=40.0, seed=3
+    )
+    uncoordinated = run_ping_schedule(
+        app,
+        UncoordinatedLogic(app.compiled, update_delay=2.0),
+        SCHEDULE,
+        horizon=40.0,
+        seed=3,
+    )
+    return correct, uncoordinated
+
+
+def test_fig14_bandwidth_cap(benchmark):
+    correct, uncoordinated = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    c_ok = sum(1 for o in correct if o.succeeded)
+    u_ok = sum(1 for o in uncoordinated if o.succeeded)
+
+    print(f"\nFigure 14 -- bandwidth cap n={CAP}, {TOTAL} pings sent:")
+    print(f"  correct:        {c_ok} pings succeeded  (paper: 10)")
+    print(f"  uncoordinated:  {u_ok} pings succeeded  (paper: 15)")
+    for label, outcomes in [("a: correct", correct), ("b: uncoordinated", uncoordinated)]:
+        marks = "".join("#" if o.succeeded else "." for o in outcomes)
+        print(f"  {label:18s} [{marks}]")
+
+    # The correct implementation honors the cap exactly.
+    assert c_ok == CAP
+    # The uncoordinated one overshoots while the pushes are in flight.
+    assert u_ok > CAP

@@ -1,0 +1,66 @@
+"""Figure 15: intrusion detection system, correct vs. incorrect.
+
+Paper's plot: H4 pings H3, H2, H1 freely; once H1-then-H2 (the scan
+signature) completes, H4->H3 traffic is cut off -- immediately for the
+correct implementation, only after the delayed push for the
+uncoordinated one.
+"""
+
+import pytest
+
+from _scenarios import run_ping_schedule
+from repro.apps import ids_app
+from repro.baselines import UncoordinatedLogic
+from repro.network import CorrectLogic
+
+SCHEDULE = [
+    ("H4", "H3", 0.5),   # benign contact, allowed
+    ("H4", "H2", 1.0),   # H2 before H1: not the signature
+    ("H4", "H1", 1.5),   # scan step 1
+    ("H4", "H3", 2.0),   # still allowed (signature incomplete)
+    ("H4", "H2", 2.5),   # scan step 2 -- signature complete
+    ("H4", "H3", 3.0),   # correct: blocked immediately
+    ("H4", "H3", 3.5),
+    ("H4", "H3", 8.0),   # uncoordinated is blocked by now too
+]
+
+
+def run_both():
+    app = ids_app()
+    correct = run_ping_schedule(
+        app, CorrectLogic(app.compiled), SCHEDULE, horizon=20.0
+    )
+    uncoordinated = run_ping_schedule(
+        app,
+        UncoordinatedLogic(app.compiled, update_delay=2.0),
+        SCHEDULE,
+        horizon=20.0,
+    )
+    return correct, uncoordinated
+
+
+def show(label, outcomes):
+    print(f"\nFigure 15 ({label}):")
+    for o in outcomes:
+        print(f"  t={o.sent_at:4.1f}s  {o.src}->{o.dst}  "
+              f"{'OK' if o.succeeded else 'drop'}")
+
+
+def test_fig15_ids(benchmark):
+    correct, uncoordinated = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    show("a: correct", correct)
+    show("b: uncoordinated", uncoordinated)
+
+    by_time = {o.sent_at: o for o in correct}
+    # open access before the signature completes
+    assert by_time[0.5].succeeded and by_time[2.0].succeeded
+    assert by_time[1.0].succeeded and by_time[1.5].succeeded
+    # the moment the scan completes, H3 is cut off
+    assert by_time[2.5].succeeded
+    assert not by_time[3.0].succeeded
+    assert not by_time[3.5].succeeded
+
+    # uncoordinated: H4->H3 remains open briefly after the scan
+    u_by_time = {o.sent_at: o for o in uncoordinated}
+    assert u_by_time[3.0].succeeded or u_by_time[3.5].succeeded
+    assert not u_by_time[8.0].succeeded  # eventually blocked

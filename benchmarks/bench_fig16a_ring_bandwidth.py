@@ -1,0 +1,44 @@
+"""Figure 16(a): tag/state overhead in bandwidth across ring diameters.
+
+Paper's result: the event-driven runtime's throughput stays within ~6%
+of the unmodified reference switch at every diameter (2..8); the two
+curves nearly coincide.
+"""
+
+import pytest
+
+from _scenarios import run_ring_bandwidth
+
+DIAMETERS = [2, 3, 4, 5, 6, 7, 8]
+
+
+def sweep():
+    rows = []
+    for diameter in DIAMETERS:
+        reference = run_ring_bandwidth(diameter, tagged=False)
+        tagged = run_ring_bandwidth(diameter, tagged=True)
+        rows.append((diameter, reference, tagged))
+    return rows
+
+
+def test_fig16a_ring_bandwidth(benchmark):
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    print("\nFigure 16(a) -- goodput vs ring diameter:")
+    print(f"  {'diam':>4s}  {'reference MB/s':>14s}  {'tagged MB/s':>12s}  {'overhead':>8s}")
+    overheads = []
+    for diameter, reference, tagged in rows:
+        overhead = (1 - tagged / reference) * 100
+        overheads.append(overhead)
+        print(
+            f"  {diameter:>4d}  {reference / 1e6:>14.2f}  "
+            f"{tagged / 1e6:>12.2f}  {overhead:>7.1f}%"
+        )
+    print(f"  average overhead: {sum(overheads) / len(overheads):.1f}% (paper: ~6%)")
+
+    for diameter, reference, tagged in rows:
+        assert tagged > 0 and reference > 0
+        # tagging costs something but stays within a ~10% envelope
+        assert tagged <= reference
+        assert tagged >= 0.90 * reference
+    assert sum(overheads) / len(overheads) <= 8.0

@@ -1,0 +1,59 @@
+"""Figure 16(b): event discovery time across ring diameters, with and
+without controller assistance.
+
+Paper's result: max/avg time for switches to learn about the event
+grows with the diameter when only packet digests spread the news, and
+drops substantially when the controller broadcasts its view.
+"""
+
+import pytest
+
+from _scenarios import run_ring_convergence
+
+DIAMETERS = [3, 4, 5, 6, 7, 8]
+
+
+def sweep():
+    rows = []
+    for diameter in DIAMETERS:
+        gossip = run_ring_convergence(diameter, controller_assist=False)
+        assisted = run_ring_convergence(diameter, controller_assist=True)
+        rows.append((diameter, gossip, assisted))
+    return rows
+
+
+def stats(learned, n_switches):
+    times = list(learned.values())
+    if not times:
+        return float("inf"), float("inf"), 0
+    return max(times), sum(times) / len(times), len(times)
+
+
+def test_fig16b_convergence(benchmark):
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    print("\nFigure 16(b) -- event discovery time (s):")
+    print(f"  {'diam':>4s}  {'max':>7s}  {'avg':>7s}  {'max w/ctrl':>10s}  {'avg w/ctrl':>10s}")
+    for diameter, gossip, assisted in rows:
+        n = 2 * diameter
+        gmax, gavg, gknown = stats(gossip, n)
+        amax, aavg, aknown = stats(assisted, n)
+        print(
+            f"  {diameter:>4d}  {gmax:>7.3f}  {gavg:>7.3f}  "
+            f"{amax:>10.3f}  {aavg:>10.3f}   "
+            f"({gknown}/{n} and {aknown}/{n} switches)"
+        )
+
+    for diameter, gossip, assisted in rows:
+        n = 2 * diameter
+        gmax, gavg, gknown = stats(gossip, n)
+        amax, aavg, aknown = stats(assisted, n)
+        # every switch eventually learns, both ways
+        assert gknown == n and aknown == n
+        # controller assist never hurts the average
+        assert aavg <= gavg + 1e-9
+
+    # discovery time grows with diameter under gossip (endpoints)
+    first_max = stats(rows[0][1], 2 * rows[0][0])[0]
+    last_max = stats(rows[-1][1], 2 * rows[-1][0])[0]
+    assert last_max >= first_max

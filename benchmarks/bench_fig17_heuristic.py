@@ -1,0 +1,51 @@
+"""Figure 17: the rule-sharing heuristic on random configurations.
+
+Paper's setup: 64 randomly-generated configurations drawn from a pool
+of 20 rules; the scatter of (heuristic rules, original rules) sits well
+above the x=y line, with ~32-37% average savings.
+"""
+
+import random
+
+import pytest
+
+from repro.optimize.trie import optimize_configurations
+
+POOL_SIZE = 20
+N_CONFIGS = 64
+DENSITY = 0.3
+N_INSTANCES = 25
+
+
+def sweep():
+    pool = [f"rule{i}" for i in range(POOL_SIZE)]
+    points = []
+    for seed in range(N_INSTANCES):
+        rng = random.Random(seed)
+        configs = [
+            frozenset(r for r in pool if rng.random() < DENSITY)
+            for _ in range(N_CONFIGS)
+        ]
+        result = optimize_configurations(configs)
+        points.append((result.optimized, result.original))
+    return points
+
+
+def test_fig17_heuristic(benchmark):
+    points = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    print(f"\nFigure 17 -- {N_INSTANCES} instances of {N_CONFIGS} random "
+          f"configurations over {POOL_SIZE} rules:")
+    print(f"  {'w/ heuristic':>12s}  {'original':>9s}  {'saved':>6s}")
+    savings = []
+    for optimized, original in points:
+        fraction = (original - optimized) / original
+        savings.append(fraction)
+        print(f"  {optimized:>12d}  {original:>9d}  {fraction * 100:>5.1f}%")
+    average = sum(savings) / len(savings)
+    print(f"  average savings: {average * 100:.1f}% (paper: ~32%)")
+
+    # every point is on or above the x=y line (never worse than naive)
+    assert all(optimized <= original for optimized, original in points)
+    # average savings in the paper's ballpark
+    assert 0.20 <= average <= 0.60

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Bandwidth cap, correct vs. uncoordinated (Figure 14).
+
+The provider counts H1-to-H4 packets at switch 4 and closes the reply
+path after ``cap`` packets.  The correct runtime enforces the cap
+exactly (precisely ``cap`` pings succeed); the uncoordinated strategy
+lets extra pings through while rule pushes are in flight -- the paper
+measured 15 successful pings against a cap of 10.
+
+Run:  python examples/bandwidth_cap_scenario.py
+"""
+
+from repro.apps import bandwidth_cap_app
+from repro.baselines import UncoordinatedLogic
+from repro.network import (
+    CorrectLogic,
+    SimNetwork,
+    install_ping_responders,
+    ping_outcomes,
+    send_ping,
+)
+
+CAP = 10
+TOTAL_PINGS = 22
+INTERVAL = 0.5
+
+
+def run(logic) -> int:
+    app = bandwidth_cap_app(CAP)
+    net = SimNetwork(app.topology, logic, seed=3)
+    install_ping_responders(net)
+    pings = []
+    for i in range(TOTAL_PINGS):
+        at = 0.5 + i * INTERVAL
+        send_ping(net, "H1", "H4", i + 1, at)
+        pings.append(("H1", "H4", i + 1, at))
+    net.run(until=30.0)
+    outcomes = ping_outcomes(net, pings)
+    for outcome in outcomes:
+        status = "OK  " if outcome.succeeded else "DROP"
+        print(f"  t={outcome.sent_at:5.1f}s  ping {outcome.ident:2d}  {status}")
+    return sum(1 for o in outcomes if o.succeeded)
+
+
+def main() -> None:
+    app = bandwidth_cap_app(CAP)
+    print(f"{app.name}: {app.description}\n")
+
+    print("Correct (event-driven consistent):")
+    correct = run(CorrectLogic(app.compiled))
+    print(f"  -> {correct} pings succeeded (cap is {CAP})\n")
+
+    print("Uncoordinated (2 s controller delay):")
+    uncoordinated = run(UncoordinatedLogic(app.compiled, update_delay=2.0))
+    print(f"  -> {uncoordinated} pings succeeded (cap is {CAP})\n")
+
+    print(
+        f"The correct implementation honors the cap exactly ({correct} == {CAP});\n"
+        f"the uncoordinated one overshoots ({uncoordinated} > {CAP}), as in Figure 14(b)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""repro: a from-scratch reproduction of "Event-Driven Network
+Programming" (McClurg, Hojjat, Foster, Cerny; PLDI 2016).
+
+Layers, bottom to top:
+
+- :mod:`repro.netkat` -- NetKAT (syntax, semantics, FDD compiler, tables)
+- :mod:`repro.topology` -- switches, ports, links, hosts
+- :mod:`repro.stateful` -- Stateful NetKAT, projection, event extraction
+- :mod:`repro.events` -- event structures, NESs, ETS->NES, locality
+- :mod:`repro.consistency` -- network traces, happens-before, the
+  event-driven consistent update checkers (Definitions 2 and 6)
+- :mod:`repro.runtime` -- the tag/digest implementation (Figure 7)
+- :mod:`repro.network` -- the discrete-event simulator and traffic
+- :mod:`repro.baselines` -- uncoordinated updates, static reference
+- :mod:`repro.optimize` -- the rule-sharing trie heuristic (section 5.3)
+- :mod:`repro.apps` -- the five case studies and the ring workload
+
+Quickstart::
+
+    from repro.apps import firewall_app
+    from repro.consistency import check_trace_against_nes
+
+    app = firewall_app()
+    rt = app.runtime(seed=0)
+    rt.inject("H1", {"ip_dst": 4, "ip_src": 1})
+    rt.run_until_quiescent()
+    report = check_trace_against_nes(rt.network_trace(), app.nes, app.topology)
+    assert report.correct
+"""
+
+from . import apps, baselines, consistency, events, netkat, network, optimize, runtime, stateful, verify
+from .formula import EQ, Formula, Literal, NE
+from .topology import Host, Topology
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "netkat",
+    "stateful",
+    "events",
+    "consistency",
+    "runtime",
+    "network",
+    "baselines",
+    "optimize",
+    "apps",
+    "verify",
+    "Topology",
+    "Host",
+    "Formula",
+    "Literal",
+    "EQ",
+    "NE",
+    "__version__",
+]

@@ -1,0 +1,61 @@
+"""Port-knocking authentication (Figures 8(c) and 9(c)).
+
+The untrusted host H4 wants to reach H3, but must first contact H1 and
+then H2, in that order.  Each successful contact is an event that
+advances the state machine; only in the final state does s4 install the
+H4-to-H3 path.
+"""
+
+from __future__ import annotations
+
+from ..netkat.ast import assign, filter_, link, seq, test, union
+from ..stateful.ast import link_update, state_eq
+from ..topology import star_topology
+from .base import App, HOSTS
+
+__all__ = ["authentication_app"]
+
+
+def authentication_app() -> App:
+    """Figure 9(c), transcribed:
+
+    ``state=[0] & pt=2 & ip_dst=H1; pt<-1; (4:1)->(1:1)<state<-[1]>; pt<-2
+    + state=[1] & pt=2 & ip_dst=H2; pt<-3; (4:3)->(2:1)<state<-[2]>; pt<-2
+    + state=[2] & pt=2 & ip_dst=H3; pt<-4; (4:4)->(3:1); pt<-2
+    + pt=2; pt<-1; ((1:1)->(4:1) + (2:1)->(4:3) + (3:1)->(4:4)); pt<-2``
+    """
+    h1, h2, h3 = HOSTS["H1"], HOSTS["H2"], HOSTS["H3"]
+    knock1 = seq(
+        filter_(state_eq([0]) & test("pt", 2) & test("ip_dst", h1)),
+        assign("pt", 1),
+        link_update("4:1", "1:1", [1]),
+        assign("pt", 2),
+    )
+    knock2 = seq(
+        filter_(state_eq([1]) & test("pt", 2) & test("ip_dst", h2)),
+        assign("pt", 3),
+        link_update("4:3", "2:1", [2]),
+        assign("pt", 2),
+    )
+    access = seq(
+        filter_(state_eq([2]) & test("pt", 2) & test("ip_dst", h3)),
+        assign("pt", 4),
+        link("4:4", "3:1"),
+        assign("pt", 2),
+    )
+    replies = seq(
+        filter_(test("pt", 2)),
+        assign("pt", 1),
+        union(link("1:1", "4:1"), link("2:1", "4:3"), link("3:1", "4:4")),
+        assign("pt", 2),
+    )
+    return App(
+        name="authentication",
+        program=union(knock1, knock2, access, replies),
+        topology=star_topology(),
+        initial_state=(0,),
+        description=(
+            "H4 gains access to H3 only after probing H1 then H2 in order "
+            "(port-knocking); replies from internal hosts always flow back."
+        ),
+    )

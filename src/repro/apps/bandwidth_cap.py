@@ -1,0 +1,61 @@
+"""The bandwidth cap / uCap (Figures 8(d) and 9(d)).
+
+Outgoing H1-to-H4 traffic is allowed, but each packet reaching the
+provider (switch 4) advances a counter; once ``cap`` packets have been
+seen, the incoming (reply) path is disabled.  The NES for this program
+exercises event *renaming*: the same syntactic event ``(dst=H4, 4:1)``
+occurs once per counter value.
+"""
+
+from __future__ import annotations
+
+from ..netkat.ast import assign, filter_, link, seq, test, union
+from ..stateful.ast import link_update, state_eq
+from ..topology import firewall_topology
+from .base import App, HOSTS
+
+__all__ = ["bandwidth_cap_app", "DEFAULT_CAP"]
+
+DEFAULT_CAP = 10
+
+
+def bandwidth_cap_app(cap: int = DEFAULT_CAP) -> App:
+    """Figure 9(d), transcribed (with the chain length parameterized):
+
+    ``pt=2 & ip_dst=H4; pt<-1; (state=[0]; (1:1)->(4:1)<state<-[1]> +
+    ... + state=[cap]; (1:1)->(4:1)<state<-[cap+1]> +
+    state=[cap+1]; (1:1)->(4:1)); pt<-2
+    + pt=2 & ip_dst=H1; state!=[cap+1]; pt<-1; (4:1)->(1:1); pt<-2``
+    """
+    if cap < 1:
+        raise ValueError("the cap must be at least 1 packet")
+    h1, h4 = HOSTS["H1"], HOSTS["H4"]
+    counting_links = [
+        seq(filter_(state_eq([i])), link_update("1:1", "4:1", [i + 1]))
+        for i in range(cap + 1)
+    ]
+    final_link = seq(filter_(state_eq([cap + 1])), link("1:1", "4:1"))
+    outgoing = seq(
+        filter_(test("pt", 2) & test("ip_dst", h4)),
+        assign("pt", 1),
+        union(*counting_links, final_link),
+        assign("pt", 2),
+    )
+    incoming = seq(
+        filter_(test("pt", 2) & test("ip_dst", h1)),
+        filter_(~state_eq([cap + 1])),
+        assign("pt", 1),
+        link("4:1", "1:1"),
+        assign("pt", 2),
+    )
+    return App(
+        name=f"bandwidth-cap-{cap}",
+        program=union(outgoing, incoming),
+        topology=firewall_topology(),
+        initial_state=(0,),
+        description=(
+            f"Allow outgoing traffic, counting packets at the provider; "
+            f"after {cap} packets the incoming path is disabled, so exactly "
+            f"{cap} pings can complete."
+        ),
+    )

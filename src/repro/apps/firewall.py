@@ -1,0 +1,53 @@
+"""The stateful firewall (Figures 8(a) and 9(a)).
+
+H1 may always send to H4; H4 may send to H1 only after H1 has contacted
+H4 (the arrival of an H1-to-H4 packet at switch 4 is the triggering
+event).  This is the paper's running example: a correct implementation
+must flip s4's behavior *immediately* upon the event -- an uncoordinated
+update drops H4's replies in the window before its delayed rule push.
+"""
+
+from __future__ import annotations
+
+from ..netkat.ast import assign, filter_, link, seq, test, union
+from ..stateful.ast import link_update, state_eq
+from ..topology import firewall_topology
+from .base import App, HOSTS
+
+__all__ = ["firewall_app"]
+
+
+def firewall_app() -> App:
+    """Figure 9(a), transcribed:
+
+    ``pt=2 & ip_dst=H4; pt<-1; (state=[0]; (1:1)->(4:1)<state<-[1]>
+    + state!=[0]; (1:1)->(4:1)); pt<-2
+    + pt=2 & ip_dst=H1; state=[1]; pt<-1; (4:1)->(1:1); pt<-2``
+    """
+    h1, h4 = HOSTS["H1"], HOSTS["H4"]
+    outgoing = seq(
+        filter_(test("pt", 2) & test("ip_dst", h4)),
+        assign("pt", 1),
+        union(
+            seq(filter_(state_eq([0])), link_update("1:1", "4:1", [1])),
+            seq(filter_(~state_eq([0])), link("1:1", "4:1")),
+        ),
+        assign("pt", 2),
+    )
+    incoming = seq(
+        filter_(test("pt", 2) & test("ip_dst", h1)),
+        filter_(state_eq([1])),
+        assign("pt", 1),
+        link("4:1", "1:1"),
+        assign("pt", 2),
+    )
+    return App(
+        name="stateful-firewall",
+        program=union(outgoing, incoming),
+        topology=firewall_topology(),
+        initial_state=(0,),
+        description=(
+            "Outgoing H1->H4 always allowed; incoming H4->H1 allowed only "
+            "after the outside network has been contacted."
+        ),
+    )

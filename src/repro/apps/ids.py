@@ -1,0 +1,69 @@
+"""The intrusion detection system (Figures 8(e) and 9(e)).
+
+H4 may initially reach all internal hosts.  Contacting H1 and then H2,
+in that order, is treated as a scan signature; once both events have
+occurred, access to H3 is cut off.
+"""
+
+from __future__ import annotations
+
+from ..netkat.ast import assign, filter_, link, seq, test, union
+from ..stateful.ast import link_update, state_eq
+from ..topology import star_topology
+from .base import App, HOSTS
+
+__all__ = ["ids_app"]
+
+
+def ids_app() -> App:
+    """Figure 9(e), transcribed:
+
+    ``pt=2 & ip_dst=H1; pt<-1; (state=[0]; (4:1)->(1:1)<state<-[1]> +
+    state!=[0]; (4:1)->(1:1)); pt<-2
+    + pt=2 & ip_dst=H2; pt<-3; (state=[1]; (4:3)->(2:1)<state<-[2]> +
+    state!=[1]; (4:3)->(2:1)); pt<-2
+    + pt=2 & ip_dst=H3; pt<-4; state!=[2]; (4:4)->(3:1); pt<-2
+    + pt=2; pt<-1; ((1:1)->(4:1) + (2:1)->(4:3) + (3:1)->(4:4)); pt<-2``
+    """
+    h1, h2, h3 = HOSTS["H1"], HOSTS["H2"], HOSTS["H3"]
+    to_h1 = seq(
+        filter_(test("pt", 2) & test("ip_dst", h1)),
+        assign("pt", 1),
+        union(
+            seq(filter_(state_eq([0])), link_update("4:1", "1:1", [1])),
+            seq(filter_(~state_eq([0])), link("4:1", "1:1")),
+        ),
+        assign("pt", 2),
+    )
+    to_h2 = seq(
+        filter_(test("pt", 2) & test("ip_dst", h2)),
+        assign("pt", 3),
+        union(
+            seq(filter_(state_eq([1])), link_update("4:3", "2:1", [2])),
+            seq(filter_(~state_eq([1])), link("4:3", "2:1")),
+        ),
+        assign("pt", 2),
+    )
+    to_h3 = seq(
+        filter_(test("pt", 2) & test("ip_dst", h3)),
+        assign("pt", 4),
+        filter_(~state_eq([2])),
+        link("4:4", "3:1"),
+        assign("pt", 2),
+    )
+    replies = seq(
+        filter_(test("pt", 2)),
+        assign("pt", 1),
+        union(link("1:1", "4:1"), link("2:1", "4:3"), link("3:1", "4:4")),
+        assign("pt", 2),
+    )
+    return App(
+        name="intrusion-detection",
+        program=union(to_h1, to_h2, to_h3, replies),
+        topology=star_topology(),
+        initial_state=(0,),
+        description=(
+            "All traffic allowed until H4 contacts H1 and then H2 in that "
+            "suspicious order; afterwards H4's access to H3 is blocked."
+        ),
+    )

@@ -1,0 +1,72 @@
+"""Multi-host learning switch (the section 5.1 extension).
+
+The paper notes the learning switch "only allows learning for a single
+host (H1), but we could easily add learning for H2 by using a different
+index in the vector-valued state field" -- this module does exactly
+that: ``state(0)`` learns H1 and ``state(1)`` learns H2, by unioning two
+instances of the Figure 9(b) pattern.
+
+The resulting NES is the repository's only *diamond*: two compatible
+events that may occur in either order, with all four event-sets
+present.  It exercises multi-component state vectors, the
+finite-completeness check on a true lub, and per-packet consistency
+under concurrent independent updates.
+"""
+
+from __future__ import annotations
+
+from ..netkat.ast import assign, filter_, link, seq, test, union
+from ..stateful.ast import link_update, state_test
+from ..topology import learning_topology
+from .base import App, HOSTS
+
+__all__ = ["learning_multi_app"]
+
+
+def learning_multi_app() -> App:
+    """Learn H1 via state(0) and H2 via state(1), independently."""
+    h1, h2, h4 = HOSTS["H1"], HOSTS["H2"], HOSTS["H4"]
+
+    # Traffic to H1: always point-to-point; flooded to H2 while H1 is
+    # unlearned (state(0)=0).
+    to_h1 = seq(
+        filter_(test("pt", 2) & test("ip_dst", h1)),
+        union(
+            seq(assign("pt", 1), link("4:1", "1:1")),
+            seq(filter_(state_test(0, 0)), assign("pt", 3), link("4:3", "2:1")),
+        ),
+        assign("pt", 2),
+    )
+    # Traffic to H2: symmetric, flooded to H1 while H2 is unlearned.
+    to_h2 = seq(
+        filter_(test("pt", 2) & test("ip_dst", h2)),
+        union(
+            seq(assign("pt", 3), link("4:3", "2:1")),
+            seq(filter_(state_test(1, 0)), assign("pt", 1), link("4:1", "1:1")),
+        ),
+        assign("pt", 2),
+    )
+    # Replies toward H4 teach the switch: H1's reply sets state(0),
+    # H2's reply sets state(1).
+    from_h1 = seq(
+        filter_(test("pt", 2) & test("ip_dst", h4) & test("ip_src", h1)),
+        assign("pt", 1),
+        link_update("1:1", "4:1", [(0, 1)]),
+        assign("pt", 2),
+    )
+    from_h2 = seq(
+        filter_(test("pt", 2) & test("ip_dst", h4) & test("ip_src", h2)),
+        assign("pt", 1),
+        link_update("2:1", "4:3", [(1, 1)]),
+        assign("pt", 2),
+    )
+    return App(
+        name="learning-switch-multi",
+        program=union(to_h1, to_h2, from_h1, from_h2),
+        topology=learning_topology(),
+        initial_state=(0, 0),
+        description=(
+            "Flood traffic to unlearned hosts; replies from H1 and H2 "
+            "teach their locations independently (a diamond NES)."
+        ),
+    )

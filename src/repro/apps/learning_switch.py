@@ -1,0 +1,57 @@
+"""The learning switch (Figures 8(b) and 9(b)).
+
+Traffic from H4 to H1 is flooded (sent to both H1 and H2) until H4
+receives a packet from H1; at that point s4 "learns" H1's location and
+stops flooding.  The triggering event is the arrival of an H1-to-H4
+packet at 4:1.
+"""
+
+from __future__ import annotations
+
+from ..netkat.ast import assign, filter_, link, seq, test, union
+from ..stateful.ast import link_update, state_eq
+from ..topology import learning_topology
+from .base import App, HOSTS
+
+__all__ = ["learning_switch_app"]
+
+
+def learning_switch_app() -> App:
+    """Figure 9(b), transcribed:
+
+    ``pt=2 & ip_dst=H1; (pt<-1; (4:1)->(1:1) + state=[0]; pt<-3;
+    (4:3)->(2:1)); pt<-2
+    + pt=2 & ip_dst=H4; pt<-1; (1:1)->(4:1)<state<-[1]>; pt<-2
+    + pt=2; pt<-1; (2:1)->(4:3); pt<-2``
+    """
+    h1, h4 = HOSTS["H1"], HOSTS["H4"]
+    to_h1 = seq(
+        filter_(test("pt", 2) & test("ip_dst", h1)),
+        union(
+            seq(assign("pt", 1), link("4:1", "1:1")),
+            seq(filter_(state_eq([0])), assign("pt", 3), link("4:3", "2:1")),
+        ),
+        assign("pt", 2),
+    )
+    to_h4 = seq(
+        filter_(test("pt", 2) & test("ip_dst", h4)),
+        assign("pt", 1),
+        link_update("1:1", "4:1", [1]),
+        assign("pt", 2),
+    )
+    from_h2 = seq(
+        filter_(test("pt", 2)),
+        assign("pt", 1),
+        link("2:1", "4:3"),
+        assign("pt", 2),
+    )
+    return App(
+        name="learning-switch",
+        program=union(to_h1, to_h4, from_h2),
+        topology=learning_topology(),
+        initial_state=(0,),
+        description=(
+            "Flood H4->H1 traffic to both H1 and H2 until a reply from H1 "
+            "teaches s4 where H1 lives; then forward point-to-point."
+        ),
+    )

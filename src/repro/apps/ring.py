@@ -1,0 +1,113 @@
+"""The synthetic ring application (section 5.2).
+
+Hosts H1 and H2 sit on opposite sides of a ring of ``2 * diameter``
+switches.  In the initial state, H1-to-H2 traffic is forwarded
+clockwise; when a *signal* packet (field ``sig=1``) from H1 arrives at
+H2's switch, the configuration flips and subsequent H1-to-H2 traffic is
+forwarded counterclockwise.  Replies (H2 to H1) always travel
+counterclockwise, so they gossip the event back along the clockwise
+path.
+
+This is the scalability workload of Figures 16(a) and 16(b): rule
+counts, tagging overhead, and event-discovery time all grow with the
+diameter.
+
+Port conventions (see :func:`repro.topology.ring_topology`): at switch
+``i``, port 1 goes clockwise, port 2 counterclockwise, port 3 to the
+host (if any).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..netkat.ast import Policy, assign, filter_, link, seq, test, union
+from ..netkat.packet import Location
+from ..stateful.ast import link_update, state_eq
+from ..topology import ring_topology
+from .base import App, HOSTS
+
+__all__ = ["ring_app", "SIGNAL_FIELD"]
+
+SIGNAL_FIELD = "sig"
+
+
+def _clockwise_hops(start: int, count: int, ring_size: int) -> List[Policy]:
+    """Hop policies from ``start`` going clockwise for ``count`` links."""
+    hops: List[Policy] = []
+    current = start
+    for _ in range(count):
+        nxt = (current % ring_size) + 1
+        hops.append(seq(assign("pt", 1), link(Location(current, 1), Location(nxt, 2))))
+        current = nxt
+    return hops
+
+
+def _counterclockwise_hops(start: int, count: int, ring_size: int) -> List[Policy]:
+    """Hop policies from ``start`` going counterclockwise for ``count`` links."""
+    hops: List[Policy] = []
+    current = start
+    for _ in range(count):
+        prev = ring_size if current == 1 else current - 1
+        hops.append(seq(assign("pt", 2), link(Location(current, 2), Location(prev, 1))))
+        current = prev
+    return hops
+
+
+def ring_app(diameter: int) -> App:
+    """Build the ring program for a given diameter (H1 at s1, H2 at s(d+1))."""
+    if diameter < 1:
+        raise ValueError("diameter must be at least 1")
+    n = 2 * diameter
+    dst_switch = diameter + 1
+    h1, h2 = HOSTS["H1"], HOSTS["H2"]
+
+    # Clockwise data path (state [0]): s1 -> s2 -> ... -> s(d+1).
+    clockwise = _clockwise_hops(1, diameter, n)
+    data_clockwise = seq(
+        filter_(test("pt", 3) & test("ip_dst", h2) & state_eq([0])),
+        *clockwise,
+        assign("pt", 3),
+    )
+
+    # The signal path: same clockwise route, but the final hop records the
+    # event (arrival of a sig=1 packet at H2's switch).
+    signal_hops = _clockwise_hops(1, diameter - 1, n) if diameter > 1 else []
+    last_src = diameter  # the switch before dst_switch, clockwise
+    signal = seq(
+        filter_(test("pt", 3) & test(SIGNAL_FIELD, 1) & state_eq([0])),
+        *signal_hops,
+        assign("pt", 1),
+        link_update(Location(last_src, 1), Location(dst_switch, 2), [1]),
+        assign("pt", 3),
+    )
+
+    # Counterclockwise data path (state [1]): s1 -> s(2d) -> ... -> s(d+1).
+    counterclockwise = _counterclockwise_hops(1, diameter, n)
+    data_counterclockwise = seq(
+        filter_(test("pt", 3) & test("ip_dst", h2) & state_eq([1])),
+        *counterclockwise,
+        assign("pt", 3),
+    )
+
+    # Replies H2 -> H1 travel counterclockwise (s(d+1) -> s(d) -> ... -> s1)
+    # in both states; on the way they carry the digest to the clockwise-path
+    # switches.
+    reply_hops = _counterclockwise_hops(dst_switch, diameter, n)
+    replies = seq(
+        filter_(test("pt", 3) & test("ip_dst", h1)),
+        *reply_hops,
+        assign("pt", 3),
+    )
+
+    program = union(data_clockwise, signal, data_counterclockwise, replies)
+    return App(
+        name=f"ring-{diameter}",
+        program=program,
+        topology=ring_topology(diameter),
+        initial_state=(0,),
+        description=(
+            f"Ring of {n} switches; forward clockwise until a signal packet "
+            "reaches H2's switch, then counterclockwise."
+        ),
+    )

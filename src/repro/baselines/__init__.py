@@ -1,0 +1,14 @@
+"""Baseline strategies: uncoordinated updates, two-phase per-packet
+consistent updates (Reitblatt et al.), and the static reference."""
+
+from .reference import BASE_HEADER_BYTES, ReferenceLogic
+from .two_phase import VERSION_FIELD, TwoPhaseLogic
+from .uncoordinated import UncoordinatedLogic
+
+__all__ = [
+    "ReferenceLogic",
+    "UncoordinatedLogic",
+    "TwoPhaseLogic",
+    "VERSION_FIELD",
+    "BASE_HEADER_BYTES",
+]

@@ -1,0 +1,142 @@
+"""The uncoordinated update baseline (section 5.1).
+
+Events are reported to the controller, which transitions its own copy of
+the ETS and -- after a configurable delay -- pushes the new
+configuration's rules to the switches one at a time, in an unpredictable
+(seeded) order.  Packets carry no tags; each switch forwards with
+whatever table it currently has installed, so during the update window
+different switches run different configurations and application
+invariants break (dropped replies, over-flooding, cap overshoot, ...).
+
+The paper simulates this strategy the same way and notes that delays of
+several seconds are realistic for controller-driven updates ([17]
+reports up to 10 s for a single switch update).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from ..events.event import Event, EventSet
+from ..netkat.flowtable import FlowTable
+from ..netkat.packet import Location, PT
+from ..runtime.compiler import CompiledNES
+from ..stateful.ast import StateVector
+from .reference import BASE_HEADER_BYTES
+from ..network.simulator import Frame, SimNetwork
+
+__all__ = ["UncoordinatedLogic"]
+
+
+class UncoordinatedLogic:
+    """Controller-driven updates with no consistency coordination."""
+
+    def __init__(
+        self,
+        compiled: CompiledNES,
+        update_delay: float = 2.0,
+        push_gap: float = 0.02,
+        event_notify_latency: float = 0.01,
+    ):
+        self.compiled = compiled
+        self.update_delay = update_delay
+        self.push_gap = push_gap
+        self.event_notify_latency = event_notify_latency
+        initial = compiled.nes.initial_state
+        self.installed: Dict[int, FlowTable] = dict(
+            compiled.config_for_state(initial).tables
+        )
+        # The controller's view: collected (renamed) events and resulting
+        # ETS state, mirroring what the correct runtime tracks in-network.
+        self.controller_events: Set[Event] = set()
+        self.controller_state: StateVector = initial
+        self.pushes_in_flight = 0
+        self.update_completed_at: Optional[float] = None
+
+    # -- SwitchLogic interface ---------------------------------------------------
+
+    def header_bytes(self, frame: Frame) -> int:
+        return BASE_HEADER_BYTES
+
+    def on_ingress(self, net: SimNetwork, location: Location, frame: Frame) -> Frame:
+        return Frame(
+            packet=frame.packet.at(location),
+            payload_bytes=frame.payload_bytes,
+            tag=None,
+            digest=frozenset(),
+            flow=frame.flow,
+            ident=frame.ident,
+            injected_at=frame.injected_at,
+        )
+
+    def process(
+        self, net: SimNetwork, location: Location, frame: Frame
+    ) -> List[Tuple[int, Frame]]:
+        # Event detection: matching arrivals are punted to the controller
+        # (the switch itself keeps no event state).
+        for event in sorted(self.compiled.nes.events, key=repr):
+            if event.base().matches_packet(frame.packet, location):
+                self._notify_controller(net, event.base())
+                break
+
+        table = self.installed.get(location.switch, FlowTable())
+        outputs = table.apply(frame.packet.at(location))
+        results: List[Tuple[int, Frame]] = []
+        for out_packet in sorted(outputs, key=repr):
+            results.append(
+                (
+                    out_packet[PT],
+                    Frame(
+                        packet=out_packet,
+                        payload_bytes=frame.payload_bytes,
+                        tag=None,
+                        digest=frozenset(),
+                        flow=frame.flow,
+                        ident=frame.ident,
+                        injected_at=frame.injected_at,
+                    ),
+                )
+            )
+        return results
+
+    # -- controller ------------------------------------------------------------------
+
+    def _notify_controller(self, net: SimNetwork, base_event: Event) -> None:
+        def receive() -> None:
+            occurrence = sum(
+                1 for e in self.controller_events if e.base() == base_event
+            )
+            renamed = base_event.renamed(occurrence)
+            extended = frozenset(self.controller_events) | {renamed}
+            try:
+                new_state = self.compiled.nes.state_of(extended)
+            except KeyError:
+                return  # not an enabled transition; ignore the report
+            if not self.compiled.nes.enables(
+                frozenset(self.controller_events), renamed
+            ):
+                return
+            self.controller_events.add(renamed)
+            self.controller_state = new_state
+            self._schedule_pushes(net, new_state)
+
+        net.sim.schedule(self.event_notify_latency, receive)
+
+    def _schedule_pushes(self, net: SimNetwork, state: StateVector) -> None:
+        """After the delay, install the new tables switch by switch in a
+        random order (the "unpredictable order" of section 5.1)."""
+        config = self.compiled.config_for_state(state)
+        switches = sorted(config.tables)
+        net.sim.random.shuffle(switches)
+        for i, switch_id in enumerate(switches):
+            table = config.table(switch_id)
+            self.pushes_in_flight += 1
+
+            def install(sw: int = switch_id, tbl: FlowTable = table) -> None:
+                self.installed[sw] = tbl
+                self.pushes_in_flight -= 1
+                if self.pushes_in_flight == 0:
+                    self.update_completed_at = net.sim.now
+
+            net.sim.schedule(self.update_delay + i * self.push_gap, install)

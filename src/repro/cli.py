@@ -1,0 +1,213 @@
+"""Command-line interface: compile, check, and inspect stateful programs.
+
+Usage (also via ``python -m repro``)::
+
+    python -m repro show-ets  program.snk --topology firewall
+    python -m repro check     program.snk --topology star --initial 0
+    python -m repro compile   program.snk --topology firewall
+    python -m repro optimize  program.snk --topology firewall
+    python -m repro apps
+
+Programs are written in the concrete syntax of
+:mod:`repro.netkat.parser`; ``--topology`` selects one of the built-in
+Figure 8 topologies (``firewall``, ``learning``, ``star``, ``ring:N``),
+and ``--initial`` gives the starting state vector as comma-separated
+ints.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from .events.ets_to_nes import ETSConversionError, check_finite_complete, family_of_ets, nes_of_ets
+from .events.locality import is_locally_determined, locality_violations
+from .netkat.parser import ParseError, parse_policy
+from .optimize.sharing import optimize_compiled_nes
+from .runtime.compiler import LocalityError, compile_nes
+from .stateful.ast import StateVector
+from .stateful.ets import build_ets
+from .topology import (
+    Topology,
+    firewall_topology,
+    learning_topology,
+    ring_topology,
+    star_topology,
+)
+
+__all__ = ["main"]
+
+_TOPOLOGIES = {
+    "firewall": firewall_topology,
+    "learning": learning_topology,
+    "star": star_topology,
+}
+
+
+def _topology_of(spec: str) -> Topology:
+    if spec in _TOPOLOGIES:
+        return _TOPOLOGIES[spec]()
+    if spec.startswith("ring:"):
+        return ring_topology(int(spec.split(":", 1)[1]))
+    raise SystemExit(
+        f"unknown topology {spec!r}; choose from "
+        f"{sorted(_TOPOLOGIES)} or ring:N"
+    )
+
+
+def _initial_of(spec: str) -> StateVector:
+    try:
+        return tuple(int(part) for part in spec.split(","))
+    except ValueError:
+        raise SystemExit(f"--initial must be comma-separated ints, got {spec!r}")
+
+
+def _load_program(path: str):
+    try:
+        with open(path) as handle:
+            source = handle.read()
+    except OSError as exc:
+        raise SystemExit(f"cannot read {path}: {exc}")
+    try:
+        return parse_policy(source)
+    except ParseError as exc:
+        raise SystemExit(f"parse error in {path}: {exc}")
+
+
+def _cmd_show_ets(args: argparse.Namespace) -> int:
+    program = _load_program(args.program)
+    ets = build_ets(program, _initial_of(args.initial))
+    print(ets)
+    print(f"\n{len(ets.states())} states, {len(ets.edges)} edges, "
+          f"loops: {ets.has_loops()}")
+    return 0
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    """Run the section 3.1 conditions and the locality restriction."""
+    program = _load_program(args.program)
+    topology = _topology_of(args.topology)
+    ets = build_ets(program, _initial_of(args.initial))
+    print(f"ETS: {len(ets.states())} states, {len(ets.edges)} edges")
+    try:
+        family = family_of_ets(ets)
+    except ETSConversionError as exc:
+        print(f"FAIL: {exc}")
+        return 1
+    violations = check_finite_complete(family)
+    if violations:
+        print(f"FAIL: {len(violations)} finite-completeness violation(s), "
+              f"e.g. {tuple(set(v) for v in violations[0])}")
+        return 1
+    print(f"family F(T): {len(family)} event-sets  [ok]")
+    nes = nes_of_ets(ets)
+    bad_locality = locality_violations(nes)
+    if bad_locality:
+        sample = next(iter(bad_locality))
+        print(f"FAIL: not locally determined; {set(sample)} spans switches")
+        return 1
+    print("locally determined  [ok]")
+    unknown = topology.switches - {e.location.switch for e in nes.events} if nes.events else set()
+    print(f"events: {len(nes.events)}; configurations: "
+          f"{len(nes.configuration_states())}")
+    print("program is implementable (sections 3.1 + 2 conditions hold)")
+    return 0
+
+
+def _cmd_compile(args: argparse.Namespace) -> int:
+    program = _load_program(args.program)
+    topology = _topology_of(args.topology)
+    ets = build_ets(program, _initial_of(args.initial))
+    try:
+        compiled = compile_nes(nes_of_ets(ets), topology)
+    except (ETSConversionError, LocalityError) as exc:
+        print(f"FAIL: {exc}")
+        return 1
+    print(f"{compiled}\n")
+    for switch, table in sorted(compiled.guarded_tables().items()):
+        print(f"switch {switch} ({len(table)} rules):")
+        for rule in table:
+            print(f"  {rule!r}")
+    print(f"\nforwarding rules: {compiled.forwarding_rule_count()}")
+    print(f"stamp rules:      {compiled.stamp_rule_count()}")
+    print(f"total:            {compiled.total_rule_count()}")
+    return 0
+
+
+def _cmd_optimize(args: argparse.Namespace) -> int:
+    program = _load_program(args.program)
+    topology = _topology_of(args.topology)
+    ets = build_ets(program, _initial_of(args.initial))
+    compiled = compile_nes(nes_of_ets(ets), topology)
+    result = optimize_compiled_nes(compiled)
+    print(f"{'switch':>6s}  {'original':>8s}  {'optimized':>9s}")
+    for sw in result.per_switch:
+        print(f"{sw.switch:>6d}  {sw.original:>8d}  {sw.optimized:>9d}")
+    print(f"{'total':>6s}  {result.original:>8d}  {result.optimized:>9d}  "
+          f"({result.savings_fraction * 100:.0f}% saved)")
+    return 0
+
+
+def _cmd_apps(args: argparse.Namespace) -> int:
+    from . import apps as apps_module
+
+    makers = [
+        apps_module.firewall_app,
+        apps_module.learning_switch_app,
+        apps_module.learning_multi_app,
+        apps_module.authentication_app,
+        apps_module.bandwidth_cap_app,
+        apps_module.ids_app,
+    ]
+    print(f"{'name':>22s}  {'states':>6s}  {'events':>6s}  {'rules':>6s}")
+    for make in makers:
+        app = make()
+        print(
+            f"{app.name:>22s}  {len(app.compiled.states):>6d}  "
+            f"{len(app.nes.events):>6d}  {app.compiled.total_rule_count():>6d}"
+        )
+    return 0
+
+
+def build_arg_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Event-Driven Network Programming (PLDI 2016) toolchain",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_program_command(name: str, handler, help_text: str, needs_topology: bool):
+        cmd = sub.add_parser(name, help=help_text)
+        cmd.add_argument("program", help="Stateful NetKAT source file")
+        cmd.add_argument("--initial", default="0", help="initial state vector (e.g. 0,0)")
+        if needs_topology:
+            cmd.add_argument(
+                "--topology",
+                default="firewall",
+                help="firewall | learning | star | ring:N",
+            )
+        cmd.set_defaults(handler=handler)
+
+    add_program_command("show-ets", _cmd_show_ets,
+                        "print the event-driven transition system", False)
+    add_program_command("check", _cmd_check,
+                        "check the section 3.1 + locality conditions", True)
+    add_program_command("compile", _cmd_compile,
+                        "compile to guarded flow tables", True)
+    add_program_command("optimize", _cmd_optimize,
+                        "report the section 5.3 rule sharing", True)
+
+    apps_cmd = sub.add_parser("apps", help="list the built-in case studies")
+    apps_cmd.set_defaults(handler=_cmd_apps)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_arg_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,147 @@
+"""Correctness of network traces with respect to an NES (Definition 6).
+
+A trace is correct when either no event ever fires and every packet is
+processed by the initial configuration ``g(∅)``, or some event sequence
+allowed by the NES turns the trace into a correct event-driven
+consistent update.  The checker searches the (finite) space of allowed
+sequences; it is the empirical counterpart of Theorem 1 and is exercised
+by the test suite against traces produced by the runtime semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from ..events.event import Event
+from ..events.nes import NES
+from ..netkat.ast import Policy
+from ..netkat.compiler import Configuration, compile_policy
+from ..netkat.fdd import FDDBuilder
+from ..stateful.ast import StateVector
+from ..topology import Topology
+from .traces import NetworkTrace, packet_trace_in_traces
+from .update import CorrectnessReport, EventDrivenUpdate, check_update_correctness
+
+__all__ = ["NESChecker", "check_trace_against_nes"]
+
+
+class NESChecker:
+    """Checks traces against an NES, caching compiled configurations."""
+
+    def __init__(self, nes: NES, topology: Topology, max_sequence_length: int = 12):
+        self.nes = nes
+        self.topology = topology
+        self.max_sequence_length = max_sequence_length
+        self._builder = FDDBuilder()
+        self._configs: Dict[StateVector, Configuration] = {}
+
+    def configuration(self, state: StateVector) -> Configuration:
+        cached = self._configs.get(state)
+        if cached is None:
+            cached = compile_policy(
+                self.nes.configuration_policy(state),
+                self.topology,
+                builder=self._builder,
+                name=f"C{list(state)}",
+            )
+            self._configs[state] = cached
+        return cached
+
+    def config_of_event_set(self, event_set: FrozenSet[Event]) -> Configuration:
+        return self.configuration(self.nes.state_of(event_set))
+
+    # -- Definition 6 ----------------------------------------------------------
+
+    def check(self, trace: NetworkTrace) -> CorrectnessReport:
+        """Is the trace correct with respect to the NES?"""
+        quiet = self._check_no_events(trace)
+        if quiet is not None:
+            return quiet
+
+        reports: List[CorrectnessReport] = []
+        for sequence in self._candidate_sequences(trace):
+            update = self._update_of_sequence(sequence)
+            report = check_update_correctness(trace, update)
+            if report:
+                return report
+            reports.append(report)
+        if not reports:
+            return CorrectnessReport(
+                False,
+                "no event sequence allowed by the NES matches the trace "
+                "(and some packet matches an event, so the quiet case "
+                "does not apply)",
+            )
+        # Surface the most informative failure: prefer reports whose FO
+        # existed (their reason names a concrete violating packet trace).
+        for report in reports:
+            if report.reason != "FO(ntr, U) does not exist":
+                return report
+        return reports[0]
+
+    def _check_no_events(self, trace: NetworkTrace) -> Optional[CorrectnessReport]:
+        """The first disjunct of Definition 6, or None when events fire."""
+        if any(
+            event.matches(lp)
+            for lp in trace.packets
+            for event in self.nes.events
+        ):
+            return None
+        initial = self.config_of_event_set(frozenset())
+        for t in sorted(trace.trace_indices):
+            if not packet_trace_in_traces(initial, trace.packet_trace(t)):
+                return CorrectnessReport(
+                    False,
+                    "no event fires but a packet trace is not in Traces(g(∅))",
+                    t,
+                )
+        return CorrectnessReport(True)
+
+    def _candidate_sequences(self, trace: NetworkTrace) -> List[Tuple[Event, ...]]:
+        """Allowed event sequences worth trying against this trace.
+
+        Only events matched by some trace position can have a first
+        occurrence, so sequences are built from those (hugely pruning
+        the search).
+        """
+        matched = [
+            event
+            for event in sorted(self.nes.events, key=repr)
+            if any(event.matches(lp) for lp in trace.packets)
+        ]
+        sequences: List[Tuple[Event, ...]] = []
+
+        def extend(prefix: Tuple[Event, ...], collected: FrozenSet[Event]) -> None:
+            if len(prefix) > 0:
+                sequences.append(prefix)
+            if len(prefix) >= self.max_sequence_length:
+                return
+            for event in matched:
+                if event in collected:
+                    continue
+                if not self.nes.enables(collected, event):
+                    continue
+                if not self.nes.con(collected | {event}):
+                    continue
+                extend(prefix + (event,), collected | {event})
+
+        extend((), frozenset())
+        return sequences
+
+    def _update_of_sequence(self, sequence: Tuple[Event, ...]) -> EventDrivenUpdate:
+        configs: List[Configuration] = [self.config_of_event_set(frozenset())]
+        collected: FrozenSet[Event] = frozenset()
+        for event in sequence:
+            collected = collected | {event}
+            configs.append(self.config_of_event_set(collected))
+        return EventDrivenUpdate(
+            tuple(configs), tuple(sequence), frozenset(self.nes.events)
+        )
+
+
+def check_trace_against_nes(
+    trace: NetworkTrace, nes: NES, topology: Topology
+) -> CorrectnessReport:
+    """One-shot convenience wrapper around :class:`NESChecker`."""
+    return NESChecker(nes, topology).check(trace)

@@ -1,0 +1,170 @@
+"""Event-driven consistent updates and their correctness (Definition 2).
+
+An update is a sequence ``C0 -e0-> C1 -e1-> ... -en-> Cn+1`` together
+with the ambient event set ``E``.  A network trace is correct with
+respect to the update when the *first-occurrence* positions of the
+events exist (``FO``), every packet trace is processed entirely by one
+configuration of the chain, packets wholly before event ``ei`` use a
+preceding configuration, and packets wholly after it use a following
+one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from ..events.event import Event
+from ..netkat.compiler import Configuration
+from .traces import HappensBefore, NetworkTrace, packet_trace_in_traces
+
+__all__ = [
+    "EventDrivenUpdate",
+    "first_occurrences",
+    "CorrectnessReport",
+    "check_update_correctness",
+]
+
+
+@dataclass(frozen=True)
+class EventDrivenUpdate:
+    """``(U, E)``: a chain of configurations joined by triggering events.
+
+    ``configurations`` has one more element than ``events``:
+    ``C0 -e0-> C1 -e1-> ... -en-> Cn+1``.
+    """
+
+    configurations: Tuple[Configuration, ...]
+    events: Tuple[Event, ...]
+    ambient_events: FrozenSet[Event]
+
+    def __post_init__(self) -> None:
+        if len(self.configurations) != len(self.events) + 1:
+            raise ValueError(
+                "an update needs exactly one more configuration than events"
+            )
+        if not frozenset(self.events) <= self.ambient_events:
+            raise ValueError("update events must be drawn from the ambient set E")
+
+    @staticmethod
+    def single(
+        initial: Configuration,
+        event: Event,
+        final: Configuration,
+        ambient_events: Optional[Iterable[Event]] = None,
+    ) -> "EventDrivenUpdate":
+        """The one-step update ``Ci -e-> Cf`` of the introduction."""
+        ambient = (
+            frozenset(ambient_events)
+            if ambient_events is not None
+            else frozenset((event,))
+        )
+        return EventDrivenUpdate((initial, final), (event,), ambient)
+
+
+def first_occurrences(
+    trace: NetworkTrace, update: EventDrivenUpdate
+) -> Optional[Tuple[int, ...]]:
+    """``FO(ntr, U)``: the first-occurrence index of each update event.
+
+    Returns None when the sequence does not exist: an event never occurs
+    in order, a between-gap contains a stray occurrence of the next
+    event, some position after the last event matches an ambient event,
+    or the triggering packet was not processed by the immediately
+    preceding configuration.
+    """
+    indices: List[int] = []
+    previous = -1
+    for step, event in enumerate(update.events):
+        found: Optional[int] = None
+        for j in range(previous + 1, len(trace.packets)):
+            if event.matches(trace.packets[j]):
+                found = j
+                break
+        if found is None:
+            return None
+        # The event can be triggered only by a packet processed in the
+        # immediately preceding configuration C_step.
+        config = update.configurations[step]
+        if not any(
+            packet_trace_in_traces(config, trace.packet_trace(t))
+            for t in trace.traces_through(found)
+        ):
+            return None
+        indices.append(found)
+        previous = found
+    # No *unfired* event may occur after the final first-occurrence.
+    # Packets re-matching an event already in the update's sequence do
+    # not re-trigger it (the firewall's second outgoing packet matches
+    # the same pattern but the transition already happened), so only
+    # ambient events absent from the sequence invalidate FO.  Renamed
+    # copies are distinct events here: a packet matching the *next*
+    # occurrence of a chain event forces the Definition 6 search onto
+    # the longer sequence that includes it.
+    fired = frozenset(update.events)
+    remaining = update.ambient_events - fired
+    for j in range(previous + 1, len(trace.packets)):
+        if any(e.matches(trace.packets[j]) for e in remaining):
+            return None
+    return tuple(indices)
+
+
+@dataclass(frozen=True)
+class CorrectnessReport:
+    """Outcome of a Definition 2 check, with the first violation found."""
+
+    correct: bool
+    reason: str = ""
+    violating_trace: Optional[Tuple[int, ...]] = None
+
+    def __bool__(self) -> bool:
+        return self.correct
+
+
+def check_update_correctness(
+    trace: NetworkTrace, update: EventDrivenUpdate
+) -> CorrectnessReport:
+    """Definition 2: is ``trace`` correct with respect to ``update``?"""
+    fo = first_occurrences(trace, update)
+    if fo is None:
+        return CorrectnessReport(False, "FO(ntr, U) does not exist")
+
+    happens_before = trace.happens_before()
+    chain = update.configurations
+
+    for t in sorted(trace.trace_indices):
+        packet_trace = trace.packet_trace(t)
+        processed_by = [
+            idx
+            for idx, config in enumerate(chain)
+            if packet_trace_in_traces(config, packet_trace)
+        ]
+        if not processed_by:
+            return CorrectnessReport(
+                False,
+                "packet trace is in Traces(C) for no configuration of the chain",
+                t,
+            )
+        for i, ki in enumerate(fo):
+            if happens_before.all_before(t, ki):
+                # Entirely before event e_i: must use C_0..C_i.
+                if not any(idx <= i for idx in processed_by):
+                    return CorrectnessReport(
+                        False,
+                        f"packet trace precedes event {i} (position {ki}) "
+                        f"but is only in configurations {processed_by}; "
+                        f"expected one of C_0..C_{i} (update happened too early)",
+                        t,
+                    )
+            if happens_before.all_after(ki, t):
+                # Entirely after event e_i: must use C_{i+1}..C_{n+1}.
+                if not any(idx >= i + 1 for idx in processed_by):
+                    return CorrectnessReport(
+                        False,
+                        f"packet trace follows event {i} (position {ki}) "
+                        f"but is only in configurations {processed_by}; "
+                        f"expected one of C_{i + 1}..C_{len(chain) - 1} "
+                        "(update happened too late)",
+                        t,
+                    )
+    return CorrectnessReport(True)

@@ -1,0 +1,154 @@
+"""Conversion from ETSs to NESs (section 3.1).
+
+The construction: collect ``W(T)``, the event sequences along paths from
+the initial vertex (renaming repeated occurrences of the same event, as
+required for chains and loops); form the candidate family
+``F(T) = { E(p) | p in W(T) }``; check the two side conditions
+
+1. *unique configuration*: all paths collecting the same event-set end
+   at vertices labeled with the same configuration, and
+2. *finite completeness*: the family is closed under existing least
+   upper bounds;
+
+then build ``con`` and ``⊢`` from the family (Winskel, Theorem 1.1.12):
+a set is consistent iff it is covered by a family member, and
+``X ⊢ e`` iff some ``E ∖ {e}`` with ``e ∈ E ∈ F`` is contained in ``X``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, FrozenSet, List, Optional, Set, Tuple
+
+from ..netkat.ast import Policy
+from ..stateful.ast import StateVector
+from .event import Event, EventSet
+
+if TYPE_CHECKING:  # avoid a circular import: stateful.ets uses events.event
+    from ..stateful.ets import ETS
+from .nes import NES
+from .structure import EventStructure
+
+__all__ = [
+    "ETSConversionError",
+    "UniqueConfigurationError",
+    "FiniteCompletenessError",
+    "family_of_ets",
+    "check_finite_complete",
+    "nes_of_ets",
+]
+
+
+class ETSConversionError(Exception):
+    """The ETS does not give rise to an NES."""
+
+
+class UniqueConfigurationError(ETSConversionError):
+    """Two paths with the same event-set end at different configurations."""
+
+
+class FiniteCompletenessError(ETSConversionError):
+    """The family F(T) is not closed under existing least upper bounds."""
+
+
+def family_of_ets(
+    ets: "ETS", max_occurrences: int = 64
+) -> Dict[EventSet, StateVector]:
+    """Compute ``F(T)``: the event-sets collected along paths from ``v0``.
+
+    Repeated occurrences of the same base event along a path are renamed
+    with increasing occurrence indices, so a chain (or unrolled loop)
+    labeled with one syntactic event yields distinct NES events.  Loops
+    are unrolled until an event would occur more than ``max_occurrences``
+    times, which raises (the paper restricts attention to loop-free ETSs;
+    bounded unrolling approximates the lazily-computed infinite NES).
+    """
+    family: Dict[EventSet, StateVector] = {frozenset(): ets.initial}
+    visited: Set[Tuple[StateVector, EventSet]] = set()
+    stack: List[Tuple[StateVector, EventSet]] = [(ets.initial, frozenset())]
+    while stack:
+        state, collected = stack.pop()
+        if (state, collected) in visited:
+            continue
+        visited.add((state, collected))
+        for edge in ets.out_edges(state):
+            base = edge.event.base()
+            occurrence = sum(1 for e in collected if e.base() == base)
+            if occurrence >= max_occurrences:
+                raise ETSConversionError(
+                    f"event {base!r} occurred more than {max_occurrences} "
+                    "times along a path; is the ETS an unbounded loop?"
+                )
+            renamed = base.renamed(occurrence)
+            extended = collected | {renamed}
+            previous = family.get(extended)
+            if previous is None:
+                family[extended] = edge.dst
+            elif not _same_configuration(ets, previous, edge.dst):
+                raise UniqueConfigurationError(
+                    f"event-set {set(extended)} is reached at state "
+                    f"{previous} and at state {edge.dst}, whose "
+                    "configurations differ (condition 1 of section 3.1)"
+                )
+            stack.append((edge.dst, extended))
+    return family
+
+
+def _same_configuration(ets: "ETS", s1: StateVector, s2: StateVector) -> bool:
+    if s1 == s2:
+        return True
+    return ets.configuration(s1) == ets.configuration(s2)
+
+
+def check_finite_complete(family: Dict[EventSet, StateVector]) -> List[Tuple[EventSet, EventSet]]:
+    """Return the pairs violating finite completeness (empty = OK).
+
+    Pairwise closure implies n-ary closure: if ``E1..En`` share an upper
+    bound, so do ``E1 union E2`` and ``E3``, and so on inductively.
+    """
+    sets = sorted(family, key=lambda s: (len(s), sorted(repr(e) for e in s)))
+    violations: List[Tuple[EventSet, EventSet]] = []
+    for i, e1 in enumerate(sets):
+        for e2 in sets[i + 1 :]:
+            lub = e1 | e2
+            if lub in family:
+                continue
+            has_upper_bound = any(lub <= other for other in sets)
+            if has_upper_bound:
+                violations.append((e1, e2))
+    return violations
+
+
+def nes_of_ets(ets: "ETS", max_occurrences: int = 64) -> NES:
+    """Convert an ETS to an NES, enforcing both section 3.1 conditions."""
+    family = family_of_ets(ets, max_occurrences=max_occurrences)
+    violations = check_finite_complete(family)
+    if violations:
+        e1, e2 = violations[0]
+        raise FiniteCompletenessError(
+            f"event-sets {set(e1)} and {set(e2)} have an upper bound in "
+            f"F(T) but their union is not in F(T) "
+            f"({len(violations)} violating pair(s) total; condition 2 of "
+            "section 3.1, e.g. Figure 3(c))"
+        )
+
+    events: Set[Event] = set()
+    for event_set in family:
+        events.update(event_set)
+
+    enabling_base: List[Tuple[FrozenSet[Event], Event]] = []
+    for event_set in family:
+        for event in event_set:
+            enabling_base.append((event_set - {event}, event))
+
+    structure = EventStructure(
+        events=events,
+        consistency_covers=family.keys(),
+        enabling_base=enabling_base,
+    )
+    configurations: Dict[StateVector, Policy] = {
+        state: ets.configuration(state) for state in ets.states()
+    }
+    # States referenced by the family but outside ets.states() cannot occur
+    # (family destinations always come from ETS edges), so this is total.
+    return NES(structure, family, configurations)

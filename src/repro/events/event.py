@@ -1,0 +1,56 @@
+"""Network events.
+
+An event ``e = (phi, sw, pt)_eid`` models the arrival of a packet
+satisfying the guard ``phi`` at location ``sw:pt`` (section 2).  The
+optional occurrence index ``eid`` implements the paper's event
+*renaming*: when the same syntactic event can fire several times in one
+execution (the bandwidth-cap chain, or any ETS loop), each occurrence is
+a distinct event in the NES.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet
+
+from ..netkat.packet import LocatedPacket, Location, Packet
+from ..formula import Formula
+
+__all__ = ["Event", "EventSet"]
+
+
+@dataclass(frozen=True)
+class Event:
+    """An event: packet guard, location, and occurrence index."""
+
+    guard: Formula
+    location: Location
+    eid: int = 0
+
+    def matches(self, lp: LocatedPacket) -> bool:
+        """``lp |= e``: same location, and the packet satisfies the guard.
+
+        Occurrence indices do not affect matching -- renamed copies of an
+        event match the same packets (which one fires is decided by the
+        enabling relation of the NES).
+        """
+        return lp.location == self.location and self.guard.holds(lp.packet)
+
+    def matches_packet(self, packet: Packet, location: Location) -> bool:
+        return location == self.location and self.guard.holds(packet)
+
+    def base(self) -> "Event":
+        """The un-renamed event (occurrence index 0)."""
+        if self.eid == 0:
+            return self
+        return Event(self.guard, self.location, 0)
+
+    def renamed(self, eid: int) -> "Event":
+        return Event(self.guard, self.location, eid)
+
+    def __repr__(self) -> str:
+        suffix = f"_{self.eid}" if self.eid else ""
+        return f"({self.guard!r}, {self.location}){suffix}"
+
+
+EventSet = FrozenSet[Event]

@@ -1,0 +1,65 @@
+"""Locality restrictions (section 2, "Locality Restrictions").
+
+A set of events is *inconsistent* when ``con`` rejects it, and
+*minimally inconsistent* when all of its proper subsets are consistent.
+An NES is *locally determined* iff every minimally-inconsistent set has
+all of its events at the same switch -- the condition that makes the
+structure implementable without cross-switch synchronization (Lemma 1
+shows implementations of non-locally-determined NESs must either buffer
+packets or risk wrong decisions).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import FrozenSet, Iterator, List, Optional, Set, Tuple
+
+from .event import Event, EventSet
+from .nes import NES
+from .structure import EventStructure
+
+__all__ = [
+    "minimally_inconsistent_sets",
+    "is_locally_determined",
+    "locality_violations",
+]
+
+
+def minimally_inconsistent_sets(
+    structure: EventStructure,
+    max_size: Optional[int] = None,
+) -> FrozenSet[EventSet]:
+    """All minimally-inconsistent subsets of the structure's events.
+
+    Enumerates subsets by increasing size, pruning supersets of sets
+    already found (any strict superset of an inconsistent set is
+    inconsistent but not minimal).  Singleton events are consistent in
+    every structure arising from an ETS family, but a size-1 check is
+    included for generality.
+    """
+    events = sorted(structure.events, key=repr)
+    bound = max_size if max_size is not None else len(events)
+    found: List[FrozenSet[Event]] = []
+    for size in range(1, bound + 1):
+        for combo in combinations(events, size):
+            candidate = frozenset(combo)
+            if any(m <= candidate for m in found):
+                continue
+            if not structure.con(candidate):
+                found.append(candidate)
+    return frozenset(found)
+
+
+def locality_violations(nes: NES, max_size: Optional[int] = None) -> FrozenSet[EventSet]:
+    """Minimally-inconsistent sets whose events span multiple switches."""
+    violations: Set[EventSet] = set()
+    for inconsistent in minimally_inconsistent_sets(nes.structure, max_size):
+        switches = {event.location.switch for event in inconsistent}
+        if len(switches) > 1:
+            violations.add(inconsistent)
+    return frozenset(violations)
+
+
+def is_locally_determined(nes: NES, max_size: Optional[int] = None) -> bool:
+    """Does the NES satisfy the locally-determined condition?"""
+    return not locality_violations(nes, max_size)

@@ -1,0 +1,188 @@
+"""Event structures (Winskel 1987; Definition 3 of the paper).
+
+An event structure endows a set of events with a *consistency predicate*
+``con`` (which finite sets of events may occur in one execution) and an
+*enabling relation* ``⊢`` (which sets of events enable a new event).
+Both are required to be monotone in the right way: ``con`` is downward
+closed, ``⊢`` is upward closed in its first argument.
+
+This implementation is for finite structures.  Consistency is
+represented by a family of *covers* -- ``X`` is consistent iff it is a
+subset of some cover -- which is automatically downward closed.
+Enabling is represented by base pairs ``(X0, e)`` -- ``X ⊢ e`` iff some
+``X0 ⊆ X`` is a base -- which is automatically upward closed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import (
+    AbstractSet,
+    Dict,
+    FrozenSet,
+    Generic,
+    Hashable,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    TypeVar,
+)
+
+E = TypeVar("E", bound=Hashable)
+
+__all__ = ["EventStructure"]
+
+
+class EventStructure(Generic[E]):
+    """A finite event structure ``(E, con, ⊢)``."""
+
+    def __init__(
+        self,
+        events: Iterable[E],
+        consistency_covers: Iterable[AbstractSet[E]],
+        enabling_base: Iterable[Tuple[AbstractSet[E], E]],
+    ):
+        self._events: FrozenSet[E] = frozenset(events)
+        self._covers: FrozenSet[FrozenSet[E]] = frozenset(
+            frozenset(c) for c in consistency_covers
+        )
+        for cover in self._covers:
+            if not cover <= self._events:
+                raise ValueError(f"cover {set(cover)} mentions unknown events")
+        base: Dict[E, Set[FrozenSet[E]]] = {}
+        for enabler, event in enabling_base:
+            enabler_set = frozenset(enabler)
+            if event not in self._events:
+                raise ValueError(f"enabling base names unknown event {event!r}")
+            if not enabler_set <= self._events:
+                raise ValueError(
+                    f"enabling base {set(enabler_set)} mentions unknown events"
+                )
+            base.setdefault(event, set()).add(enabler_set)
+        # Keep only minimal enablers: supersets are implied by monotonicity.
+        self._base: Dict[E, Tuple[FrozenSet[E], ...]] = {}
+        for event, enablers in base.items():
+            minimal = [
+                x
+                for x in enablers
+                if not any(y < x for y in enablers)
+            ]
+            self._base[event] = tuple(sorted(minimal, key=sorted_key))
+
+    # -- primitive relations ---------------------------------------------------
+
+    @property
+    def events(self) -> FrozenSet[E]:
+        return self._events
+
+    @property
+    def covers(self) -> FrozenSet[FrozenSet[E]]:
+        return self._covers
+
+    def con(self, subset: AbstractSet[E]) -> bool:
+        """The consistency predicate (downward closed by construction)."""
+        needle = frozenset(subset)
+        if not needle:
+            return True
+        return any(needle <= cover for cover in self._covers)
+
+    def enables(self, enabler: AbstractSet[E], event: E) -> bool:
+        """``enabler ⊢ event`` (upward closed by construction)."""
+        enabler_set = frozenset(enabler)
+        return any(base <= enabler_set for base in self._base.get(event, ()))
+
+    def minimal_enablers(self, event: E) -> Tuple[FrozenSet[E], ...]:
+        return self._base.get(event, ())
+
+    # -- derived notions -----------------------------------------------------
+
+    def successors(self, event_set: AbstractSet[E]) -> Iterator[E]:
+        """Events that can extend ``event_set`` to a larger event-set."""
+        current = frozenset(event_set)
+        for event in self._events:
+            if event in current:
+                continue
+            if self.enables(current, event) and self.con(current | {event}):
+                yield event
+
+    def event_sets(self, limit: int = 100_000) -> FrozenSet[FrozenSet[E]]:
+        """All event-sets (Definition 4): consistent and secured from ∅."""
+        found: Set[FrozenSet[E]] = {frozenset()}
+        frontier: List[FrozenSet[E]] = [frozenset()]
+        while frontier:
+            current = frontier.pop()
+            for event in self.successors(current):
+                extended = current | {event}
+                if extended not in found:
+                    if len(found) >= limit:
+                        raise RuntimeError(
+                            f"event-set enumeration exceeded {limit} sets"
+                        )
+                    found.add(extended)
+                    frontier.append(extended)
+        return frozenset(found)
+
+    def is_event_set(self, subset: AbstractSet[E]) -> bool:
+        """Is ``subset`` consistent and reachable via the enabling relation?"""
+        target = frozenset(subset)
+        if not self.con(target):
+            return False
+        # Greedy securing: repeatedly add any enabled member.  Greedy is
+        # complete here because enabling is monotone (adding events never
+        # disables a member).
+        secured: Set[E] = set()
+        remaining = set(target)
+        while remaining:
+            progress = [
+                e
+                for e in remaining
+                if self.enables(frozenset(secured), e)
+            ]
+            if not progress:
+                return False
+            secured.update(progress)
+            remaining.difference_update(progress)
+        return True
+
+    def allows_sequence(self, sequence: Sequence[E]) -> bool:
+        """Is ``e0 e1 ... en`` allowed (section 2, "Correct Network Traces")?"""
+        prefix: Set[E] = set()
+        for event in sequence:
+            if event in prefix:
+                return False  # an event occurs at most once per execution
+            if not self.enables(frozenset(prefix), event):
+                return False
+            if not self.con(prefix | {event}):
+                return False
+            prefix.add(event)
+        return True
+
+    def allowed_sequences(
+        self, max_length: Optional[int] = None
+    ) -> Iterator[Tuple[E, ...]]:
+        """Enumerate allowed event sequences (breadth-first, shortest first)."""
+        queue: List[Tuple[Tuple[E, ...], FrozenSet[E]]] = [((), frozenset())]
+        while queue:
+            next_queue: List[Tuple[Tuple[E, ...], FrozenSet[E]]] = []
+            for sequence, collected in queue:
+                yield sequence
+                if max_length is not None and len(sequence) >= max_length:
+                    continue
+                for event in self.successors(collected):
+                    next_queue.append((sequence + (event,), collected | {event}))
+            queue = next_queue
+
+    def __repr__(self) -> str:
+        return (
+            f"EventStructure({len(self._events)} events, "
+            f"{len(self._covers)} covers, "
+            f"{sum(len(v) for v in self._base.values())} enabling bases)"
+        )
+
+
+def sorted_key(s: Iterable) -> Tuple:
+    return tuple(sorted(repr(x) for x in s))

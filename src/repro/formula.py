@@ -1,0 +1,167 @@
+"""Conjunctive formulas over packet fields, used as event guards.
+
+The event-extraction function of Figure 6 threads a formula ``phi``
+through the program, conjoining each field test it passes.  The paper's
+``phi`` ranges over conjunctions of (in)equality literals ``f = n`` /
+``f != n``; this module gives them a canonical, hashable representation
+with contradiction detection and the ``(exists f: phi)`` projection used
+by the field-assignment rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Optional, Set, Tuple
+
+from .netkat.ast import Predicate, TRUE, conj, neg, test
+from .netkat.packet import Packet
+
+__all__ = ["Literal", "Formula", "EQ", "NE"]
+
+EQ = "="
+NE = "!="
+
+
+@dataclass(frozen=True, order=True)
+class Literal:
+    """A single literal ``field = value`` or ``field != value``."""
+
+    field: str
+    op: str
+    value: int
+
+    def __post_init__(self) -> None:
+        if self.op not in (EQ, NE):
+            raise ValueError(f"bad literal operator {self.op!r}")
+
+    def negated(self) -> "Literal":
+        return Literal(self.field, NE if self.op == EQ else EQ, self.value)
+
+    def holds(self, packet: Packet) -> bool:
+        actual = packet.get(self.field)
+        if self.op == EQ:
+            return actual == self.value
+        return actual != self.value
+
+    def __repr__(self) -> str:
+        return f"{self.field}{self.op}{self.value}"
+
+
+class Formula:
+    """A satisfiable canonical conjunction of literals.
+
+    Canonicalization: a positive literal on a field subsumes (and must be
+    consistent with) every other literal on that field; negative literals
+    on a field accumulate.  Unsatisfiable conjunctions are represented by
+    the absence of a Formula -- the combinators return ``None``.
+    """
+
+    __slots__ = ("_literals", "_hash")
+
+    def __init__(self, literals: Iterable[Literal] = ()):
+        lits = frozenset(literals)
+        if _contradictory(lits):
+            raise ValueError(
+                f"contradictory literal set {sorted(lits)!r}; "
+                "use Formula.conjoin to build formulas safely"
+            )
+        object.__setattr__(self, "_literals", _canonicalize(lits))
+        object.__setattr__(self, "_hash", hash(self._literals))
+
+    @staticmethod
+    def true() -> "Formula":
+        return Formula()
+
+    @property
+    def literals(self) -> FrozenSet[Literal]:
+        return self._literals
+
+    def is_true(self) -> bool:
+        return not self._literals
+
+    def conjoin(self, literal: Literal) -> Optional["Formula"]:
+        """``self AND literal``, or None when contradictory."""
+        lits = set(self._literals)
+        lits.add(literal)
+        if _contradictory(frozenset(lits)):
+            return None
+        return Formula(lits)
+
+    def conjoin_all(self, literals: Iterable[Literal]) -> Optional["Formula"]:
+        out: Optional[Formula] = self
+        for literal in literals:
+            if out is None:
+                return None
+            out = out.conjoin(literal)
+        return out
+
+    def without_field(self, field: str) -> "Formula":
+        """``(exists field: self)`` -- strip all literals on ``field``."""
+        return Formula(l for l in self._literals if l.field != field)
+
+    def holds(self, packet: Packet) -> bool:
+        return all(l.holds(packet) for l in self._literals)
+
+    def to_predicate(self) -> Predicate:
+        """Render as a NetKAT predicate."""
+        terms = []
+        for l in sorted(self._literals):
+            t = test(l.field, l.value)
+            terms.append(t if l.op == EQ else neg(t))
+        return conj(*terms) if terms else TRUE
+
+    def implies(self, other: "Formula") -> bool:
+        """Syntactic implication: every literal of ``other`` follows from self."""
+        pos: Dict[str, int] = {
+            l.field: l.value for l in self._literals if l.op == EQ
+        }
+        for l in other._literals:
+            if l.op == EQ:
+                if pos.get(l.field) != l.value:
+                    return False
+            else:
+                known = pos.get(l.field)
+                if known is not None and known != l.value:
+                    continue  # f=known (!= value) implies f != value
+                if l not in self._literals:
+                    return False
+        return True
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Formula):
+            return NotImplemented
+        return self._literals == other._literals
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        if not self._literals:
+            return "true"
+        return " & ".join(repr(l) for l in sorted(self._literals))
+
+
+def _contradictory(literals: FrozenSet[Literal]) -> bool:
+    positives: Dict[str, Set[int]] = {}
+    negatives: Dict[str, Set[int]] = {}
+    for l in literals:
+        target = positives if l.op == EQ else negatives
+        target.setdefault(l.field, set()).add(l.value)
+    for field, values in positives.items():
+        if len(values) > 1:
+            return True
+        (value,) = values
+        if value in negatives.get(field, ()):
+            return True
+    return False
+
+
+def _canonicalize(literals: FrozenSet[Literal]) -> FrozenSet[Literal]:
+    """Drop negative literals made redundant by a positive one."""
+    positives = {l.field: l.value for l in literals if l.op == EQ}
+    out = set()
+    for l in literals:
+        if l.op == NE and l.field in positives:
+            continue  # f=v already implies f != anything-else
+        out.add(l)
+    return frozenset(out)

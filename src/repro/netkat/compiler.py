@@ -1,0 +1,388 @@
+"""The path compiler: NetKAT policies with links -> per-switch flow tables.
+
+The paper's configurations (Figure 9, projected to a single state by
+``⟦p⟧~k``) describe *end-to-end paths*: link-free processing segments
+alternating with physical link crossings.  This module splits such a
+policy at its links and compiles each hop into rules for the switch where
+the hop executes, yielding a :class:`Configuration`:
+
+1. normalize the policy into *alternations* -- sequences
+   ``q0 ; L1 ; q1 ; ... ; Ln ; qn`` with link-free ``qi``;
+2. symbolically execute each alternation hop by hop, carrying the
+   *knowledge* (field constraints established by earlier hops, translated
+   through modifications) forward across links;
+3. build one FDD per switch (unioning all hops that execute there, which
+   realizes NetKAT's multicast union semantics) and extract prioritized
+   rules.
+
+The resulting configuration is exactly the relation ``C`` of section 2:
+switch steps come from the tables, link steps from the topology.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .ast import (
+    Assign,
+    Conj,
+    Disj,
+    Dup,
+    FALSE,
+    Filter,
+    ID,
+    Link,
+    Neg,
+    PFalse,
+    PTrue,
+    Policy,
+    Predicate,
+    Seq,
+    Star,
+    Test,
+    TRUE,
+    Union,
+    at_location,
+    conj,
+    neg,
+    seq as seq_policy,
+    test,
+)
+from .fdd import FDD, FDDBuilder, Leaf, Mod
+from .flowtable import FlowTable, Match, Rule, table_of_fdd
+from .packet import Location, LocatedPacket, Packet, PT, SW
+from ..topology import Topology
+
+__all__ = [
+    "CompileError",
+    "Alternation",
+    "alternations",
+    "link_free",
+    "strip_dup",
+    "Knowledge",
+    "Configuration",
+    "compile_policy",
+]
+
+
+class CompileError(Exception):
+    """Raised when a policy falls outside the compilable fragment."""
+
+
+def link_free(p: Policy) -> bool:
+    """True when the policy contains no link constructors."""
+    if isinstance(p, Link):
+        return False
+    if isinstance(p, (Union, Seq)):
+        return link_free(p.left) and link_free(p.right)
+    if isinstance(p, Star):
+        return link_free(p.operand)
+    return True
+
+
+def strip_dup(p: Policy) -> Policy:
+    """Replace ``dup`` by the identity (dup only affects histories)."""
+    if isinstance(p, Dup):
+        return ID
+    if isinstance(p, Union):
+        return Union(strip_dup(p.left), strip_dup(p.right))
+    if isinstance(p, Seq):
+        return seq_policy(strip_dup(p.left), strip_dup(p.right))
+    if isinstance(p, Star):
+        inner = strip_dup(p.operand)
+        return ID if inner is ID else Star(inner)
+    return p
+
+
+@dataclass(frozen=True)
+class Alternation:
+    """One union branch of a policy: ``q0 ; L1 ; q1 ; ... ; Ln ; qn``."""
+
+    segments: Tuple[Policy, ...]
+    links: Tuple[Link, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.segments) != len(self.links) + 1:
+            raise ValueError("an alternation needs one more segment than links")
+
+
+def alternations(p: Policy) -> List[Alternation]:
+    """Distribute unions and split sequences at link crossings.
+
+    Kleene stars are only supported over link-free bodies; a star whose
+    body crosses links would describe unboundedly long paths and is
+    rejected (the paper's programs never need it).
+    """
+    if isinstance(p, Link):
+        return [Alternation((ID, ID), (p,))]
+    if isinstance(p, Union):
+        return alternations(p.left) + alternations(p.right)
+    if isinstance(p, Seq):
+        out: List[Alternation] = []
+        for a in alternations(p.left):
+            for b in alternations(p.right):
+                glue = seq_policy(a.segments[-1], b.segments[0])
+                segments = a.segments[:-1] + (glue,) + b.segments[1:]
+                out.append(Alternation(segments, a.links + b.links))
+        return out
+    if isinstance(p, Star):
+        if not link_free(p.operand):
+            raise CompileError(
+                f"cannot compile {p!r}: Kleene star over a policy that "
+                "crosses links is outside the compilable fragment"
+            )
+        return [Alternation((p,), ())]
+    # Filters, assignments, dup -- link-free atoms.
+    return [Alternation((p,), ())]
+
+
+@dataclass(frozen=True)
+class Knowledge:
+    """Field constraints known to hold of the packet arriving at a hop.
+
+    ``pos`` maps fields to their known values; ``neg`` maps fields to
+    sets of excluded values.  Knowledge is carried across links so that
+    downstream switches re-match the constraints that selected this path
+    (unmodified fields keep their values across hops).
+    """
+
+    pos: Tuple[Tuple[str, int], ...] = ()
+    neg: Tuple[Tuple[str, Tuple[int, ...]], ...] = ()
+
+    @staticmethod
+    def empty() -> "Knowledge":
+        return Knowledge()
+
+    def predicate(self) -> Predicate:
+        """The conjunction of all known constraints."""
+        terms: List[Predicate] = [test(f, v) for f, v in self.pos]
+        for f, excluded in self.neg:
+            for v in excluded:
+                terms.append(neg(test(f, v)))
+        return conj(*terms)
+
+    @staticmethod
+    def after_hop(
+        constraints: Sequence[Tuple[str, int, bool]],
+        mod: Mod,
+        dst: Location,
+    ) -> "Knowledge":
+        """Knowledge about the packet after this hop's mods and a link to ``dst``.
+
+        ``constraints`` are the FDD path literals on the hop's arrival
+        packet (which already include the incoming knowledge, because the
+        hop FDD was built under it).
+        """
+        pos: Dict[str, int] = {}
+        neg: Dict[str, Set[int]] = {}
+        for f, v, is_eq in constraints:
+            if is_eq:
+                pos[f] = v
+                neg.pop(f, None)
+            elif f not in pos:
+                neg.setdefault(f, set()).add(v)
+        for f, v in mod:
+            pos[f] = v
+            neg.pop(f, None)
+        pos[SW] = dst.switch
+        pos[PT] = dst.port
+        neg.pop(SW, None)
+        neg.pop(PT, None)
+        return Knowledge(
+            pos=tuple(sorted(pos.items())),
+            neg=tuple(sorted((f, tuple(sorted(vs))) for f, vs in neg.items() if vs)),
+        )
+
+
+class Configuration:
+    """A compiled network configuration: per-switch tables over a topology.
+
+    This realizes the relation ``C`` of section 2 -- switch-internal
+    forwarding steps plus link steps -- and is the unit manipulated by
+    event-driven updates.
+    """
+
+    def __init__(
+        self,
+        tables: Dict[int, FlowTable],
+        topology: Topology,
+        name: str = "",
+    ):
+        self._tables = dict(tables)
+        for switch in topology.switches:
+            self._tables.setdefault(switch, FlowTable())
+        self.topology = topology
+        self.name = name
+
+    @property
+    def tables(self) -> Dict[int, FlowTable]:
+        return dict(self._tables)
+
+    def table(self, switch: int) -> FlowTable:
+        return self._tables.get(switch, FlowTable())
+
+    def rule_count(self) -> int:
+        return sum(len(t) for t in self._tables.values())
+
+    # -- the step relation C -------------------------------------------------
+
+    def switch_step(self, lp: LocatedPacket) -> FrozenSet[LocatedPacket]:
+        """Forward within a switch: table lookup, outputs at egress ports."""
+        packet = lp.packet.at(lp.location)
+        table = self._tables.get(lp.location.switch)
+        if table is None:
+            return frozenset()
+        outputs = set()
+        for out in table.apply(packet):
+            egress = Location(lp.location.switch, out[PT])
+            outputs.add(LocatedPacket(out, egress))
+        # A switch step must move the packet to a different port; a rule
+        # that leaves the packet exactly in place is a no-op, not a step.
+        return frozenset(o for o in outputs if o != lp.normalized())
+
+    def link_step(self, lp: LocatedPacket) -> FrozenSet[LocatedPacket]:
+        """Cross a physical link, keeping all non-location fields."""
+        outputs = set()
+        for dst in self.topology.link_targets(lp.location):
+            moved = lp.packet.at(dst)
+            outputs.add(LocatedPacket(moved, dst))
+        return frozenset(outputs)
+
+    def step(self, lp: LocatedPacket) -> FrozenSet[LocatedPacket]:
+        """One step of the relation C (switch forwarding or link crossing)."""
+        return self.switch_step(lp) | self.link_step(lp)
+
+    def relates(self, lp: LocatedPacket, lp2: LocatedPacket) -> bool:
+        return lp2 in self.step(lp)
+
+    def __repr__(self) -> str:
+        label = self.name or "unnamed"
+        return f"Configuration({label}, {self.rule_count()} rules)"
+
+
+def _sw_decomposition(
+    builder: FDDBuilder, d: FDD
+) -> Tuple[Dict[int, FDD], FDD]:
+    """Split an FDD by its root-level ``sw`` tests.
+
+    Returns (per-switch specializations, residual for untested switches).
+    ``sw`` is first in the field order, so all sw tests sit at the root.
+    """
+    per_switch: Dict[int, FDD] = {}
+    node = d
+    seen: List[int] = []
+    while not isinstance(node, Leaf) and node.field == SW:
+        value = node.value
+        specialized = builder.cofactor(d, SW, value)
+        per_switch[value] = specialized
+        seen.append(value)
+        node = node.lo
+    residual = node
+    return per_switch, residual
+
+
+def _prune_table(table: FlowTable) -> FlowTable:
+    """Drop rules that cannot affect behavior.
+
+    A drop rule is kept only when some lower-priority rule with actions
+    overlaps its match (the drop shadows it); trailing drops merely
+    restate the table's default.
+    """
+    rules = list(table.rules)
+    kept: List[Rule] = []
+    for i, rule in enumerate(rules):
+        if rule.actions:
+            kept.append(rule)
+            continue
+        shadows = any(
+            later.actions and _matches_overlap(rule.match, later.match)
+            for later in rules[i + 1 :]
+        )
+        if shadows:
+            kept.append(rule)
+    return FlowTable(kept)
+
+
+def _matches_overlap(m1: Match, m2: Match) -> bool:
+    """Can some packet satisfy both matches? (conservative for prefixes)."""
+    for f, c1 in m1.entries():
+        c2 = m2.get(f)
+        if c2 is None:
+            continue
+        if isinstance(c1, int) and isinstance(c2, int) and c1 != c2:
+            return False
+    return True
+
+
+def compile_policy(
+    policy: Policy,
+    topology: Topology,
+    builder: Optional[FDDBuilder] = None,
+    name: str = "",
+    guard: Optional[Predicate] = None,
+    max_frontier: int = 4096,
+) -> Configuration:
+    """Compile a configuration policy to per-switch flow tables.
+
+    ``guard`` is an extra predicate conjoined at the start of every path
+    (the runtime uses it to guard rules by configuration tag, section 4).
+    """
+    builder = builder or FDDBuilder()
+    per_switch_fdd: Dict[int, FDD] = {n: builder.drop for n in topology.switches}
+    residuals: List[FDD] = []
+
+    prepared = strip_dup(policy)
+    if guard is not None:
+        prepared = seq_policy(Filter(guard), prepared)
+
+    for alt in alternations(prepared):
+        frontier: List[Knowledge] = [Knowledge.empty()]
+        for hop_index, segment in enumerate(alt.segments):
+            is_final = hop_index == len(alt.links)
+            next_frontier: Set[Knowledge] = set()
+            for knowledge in frontier:
+                hop = seq_policy(Filter(knowledge.predicate()), segment)
+                d = builder.of_policy(hop)
+                if not is_final:
+                    link_ = alt.links[hop_index]
+                    reach_link = builder.of_predicate(at_location(link_.src))
+                    d = builder.seq(d, reach_link)
+                if d is builder.drop:
+                    continue
+                switch_fdds, residual = _sw_decomposition(builder, d)
+                for switch, fdd_n in switch_fdds.items():
+                    if switch in per_switch_fdd:
+                        per_switch_fdd[switch] = builder.union(
+                            per_switch_fdd[switch], fdd_n
+                        )
+                if not (isinstance(residual, Leaf) and not residual.actions):
+                    # Paths that never pin ``sw`` apply at every switch.
+                    for switch in per_switch_fdd:
+                        per_switch_fdd[switch] = builder.union(
+                            per_switch_fdd[switch],
+                            builder.cofactor(residual, SW, switch),
+                        )
+                if is_final:
+                    continue
+                link_ = alt.links[hop_index]
+                for constraints, actions in builder.paths(d):
+                    for mod in actions:
+                        next_frontier.add(
+                            Knowledge.after_hop(constraints, mod, link_.dst)
+                        )
+                if len(next_frontier) > max_frontier:
+                    raise CompileError(
+                        f"symbolic frontier exceeded {max_frontier} states; "
+                        "the policy path structure is too large"
+                    )
+            if not is_final:
+                frontier = sorted(next_frontier, key=lambda k: (k.pos, k.neg))
+                if not frontier:
+                    break  # no packet reaches the next hop on this branch
+
+    tables = {
+        switch: _prune_table(table_of_fdd(builder, fdd_n))
+        for switch, fdd_n in per_switch_fdd.items()
+    }
+    return Configuration(tables, topology, name=name)

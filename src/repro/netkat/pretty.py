@@ -1,0 +1,114 @@
+"""Pretty-printer for NetKAT and Stateful NetKAT.
+
+Produces the paper's concrete syntax (ASCII rendition), round-tripping
+with :mod:`repro.netkat.parser`:
+
+    pt=2 & ip_dst=4; pt<-1; (1:1)->(4:1)<state(0)<-1>; pt<-2
+
+One precedence scale shared with the parser (loosest first)::
+
+    union(0) < seq(1) < disj(2) < conj(3) < neg(4) < star(5) < atom(6)
+
+Binary operators are left-associative: right operands print at one level
+tighter, so ``p + (q + r)`` keeps its parentheses.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from .ast import (
+    Assign,
+    Conj,
+    Disj,
+    Dup,
+    Filter,
+    Link,
+    Neg,
+    PFalse,
+    PTrue,
+    Policy,
+    Predicate,
+    Seq,
+    Star,
+    Test,
+    Union,
+)
+
+__all__ = ["pretty_predicate", "pretty_policy"]
+
+_UNION, _SEQ, _DISJ, _CONJ, _NEG, _STAR, _ATOM = range(7)
+
+
+def pretty_policy(p: Policy, parent_level: int = _UNION) -> str:
+    """Render a policy, parenthesizing where the parent binds tighter."""
+    text, level = _policy_parts(p)
+    if level < parent_level:
+        return f"({text})"
+    return text
+
+
+def pretty_predicate(a: Predicate, parent_level: int = _UNION) -> str:
+    """Render a predicate (same syntax and precedence scale)."""
+    text, level = _predicate_parts(a)
+    if level < parent_level:
+        return f"({text})"
+    return text
+
+
+def _predicate_parts(a: Predicate) -> Tuple[str, int]:
+    from ..stateful.ast import StateTest
+
+    if isinstance(a, PTrue):
+        return "true", _ATOM
+    if isinstance(a, PFalse):
+        return "false", _ATOM
+    if isinstance(a, Test):
+        return f"{a.field}={a.value}", _ATOM
+    if isinstance(a, StateTest):
+        return f"state({a.component})={a.value}", _ATOM
+    if isinstance(a, Neg):
+        return f"!{pretty_predicate(a.operand, _STAR)}", _NEG
+    if isinstance(a, Conj):
+        left = pretty_predicate(a.left, _CONJ)
+        right = pretty_predicate(a.right, _CONJ + 1)
+        return f"{left} & {right}", _CONJ
+    if isinstance(a, Disj):
+        left = pretty_predicate(a.left, _DISJ)
+        right = pretty_predicate(a.right, _DISJ + 1)
+        return f"{left} | {right}", _DISJ
+    raise TypeError(f"not a predicate: {a!r}")
+
+
+def _policy_parts(p: Policy) -> Tuple[str, int]:
+    from ..stateful.ast import LinkUpdate
+
+    if isinstance(p, Filter):
+        if isinstance(p.predicate, PTrue):
+            return "id", _ATOM
+        if isinstance(p.predicate, PFalse):
+            return "drop", _ATOM
+        return _predicate_parts(p.predicate)
+    if isinstance(p, Assign):
+        return f"{p.field}<-{p.value}", _ATOM
+    if isinstance(p, Dup):
+        return "dup", _ATOM
+    if isinstance(p, Link):
+        return f"({p.src})->({p.dst})", _ATOM
+    if isinstance(p, LinkUpdate):
+        updates = ", ".join(f"state({m})<-{n}" for m, n in p.updates)
+        return f"({p.src})->({p.dst})<{updates}>", _ATOM
+    if isinstance(p, Union):
+        left = pretty_policy(p.left, _UNION)
+        right = pretty_policy(p.right, _UNION + 1)
+        return f"{left} + {right}", _UNION
+    if isinstance(p, Seq):
+        left = pretty_policy(p.left, _SEQ)
+        right = pretty_policy(p.right, _SEQ + 1)
+        return f"{left}; {right}", _SEQ
+    if isinstance(p, Star):
+        # Chained stars are fine postfix: (p*)* prints as p** and parses
+        # back by repeated application.
+        inner = pretty_policy(p.operand, _STAR)
+        return f"{inner}*", _STAR
+    raise TypeError(f"not a policy: {p!r}")

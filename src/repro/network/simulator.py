@@ -1,0 +1,258 @@
+"""A deterministic discrete-event network simulator.
+
+This is the reproduction's stand-in for Mininet + real traffic: hosts,
+switches, and links with latency and capacity, driven by a seeded event
+queue.  The evaluation's claims are all about *orderings* -- which
+packets are processed before which rule updates -- and counts of
+delivered/dropped packets, which a discrete-event simulation reproduces
+faithfully and repeatably.
+
+The simulator is agnostic to forwarding semantics: each switch delegates
+to a :class:`SwitchLogic` strategy.  The correct (tag-based) logic lives
+in :mod:`repro.network.switch_logic`; the uncoordinated baseline in
+:mod:`repro.baselines.uncoordinated`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import random
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, FrozenSet, List, Mapping, Optional, Protocol, Tuple
+
+from ..events.event import Event, EventSet
+from ..netkat.packet import Location, Packet, PT, SW
+from ..topology import Topology
+
+__all__ = [
+    "Frame",
+    "Simulator",
+    "LinkParams",
+    "SwitchLogic",
+    "SimNetwork",
+    "DeliveryRecord",
+    "DropRecord",
+]
+
+
+@dataclass(frozen=True)
+class Frame:
+    """A packet on the wire, plus runtime metadata.
+
+    ``tag``/``digest`` are None/empty for strategies that do not tag
+    (the uncoordinated baseline).  ``payload_bytes`` is the application
+    payload; the wire size adds per-strategy header overhead.  ``flow``
+    identifies the logical flow for statistics; ``ident`` disambiguates
+    packets within a flow.
+    """
+
+    packet: Packet
+    payload_bytes: int = 1000
+    tag: Optional[EventSet] = None
+    digest: EventSet = frozenset()
+    flow: Tuple = ()
+    ident: int = 0
+    injected_at: float = 0.0
+
+    def with_location(self, location: Location) -> "Frame":
+        return replace(self, packet=self.packet.at(location))
+
+
+@dataclass(frozen=True)
+class DeliveryRecord:
+    time: float
+    host: str
+    frame: Frame
+
+
+@dataclass(frozen=True)
+class DropRecord:
+    time: float
+    location: Location
+    frame: Frame
+    reason: str = "no-matching-rule"
+
+
+class Simulator:
+    """A seeded discrete-event scheduler."""
+
+    def __init__(self, seed: int = 0):
+        self.now: float = 0.0
+        self.random = random.Random(seed)
+        self._heap: List[Tuple[float, int, Callable[[], None]]] = []
+        self._counter = itertools.count()
+        self.events_processed = 0
+
+    def schedule(self, delay: float, action: Callable[[], None]) -> None:
+        if delay < 0:
+            raise ValueError(f"cannot schedule {delay}s in the past")
+        heapq.heappush(self._heap, (self.now + delay, next(self._counter), action))
+
+    def run(self, until: Optional[float] = None, max_events: int = 10_000_000) -> float:
+        """Process events in time order; returns the final clock value."""
+        while self._heap and self.events_processed < max_events:
+            time, _, action = self._heap[0]
+            if until is not None and time > until:
+                self.now = until
+                return self.now
+            heapq.heappop(self._heap)
+            self.now = time
+            action()
+            self.events_processed += 1
+        if self._heap and self.events_processed >= max_events:
+            raise RuntimeError(f"simulation exceeded {max_events} events")
+        return self.now
+
+
+@dataclass(frozen=True)
+class LinkParams:
+    """Physical link characteristics."""
+
+    latency: float = 0.001  # seconds of propagation delay
+    capacity: float = 12_500_000.0  # bytes/second (100 Mbit/s)
+
+
+class SwitchLogic(Protocol):
+    """Forwarding strategy plugged into every switch of a SimNetwork."""
+
+    def header_bytes(self, frame: Frame) -> int:
+        """Wire overhead added on top of the payload."""
+        ...
+
+    def on_ingress(self, net: "SimNetwork", location: Location, frame: Frame) -> Frame:
+        """Called when a host injects a frame at an edge port (stamping)."""
+        ...
+
+    def process(
+        self, net: "SimNetwork", location: Location, frame: Frame
+    ) -> List[Tuple[int, Frame]]:
+        """Process an arrival; return (egress port, frame) outputs."""
+        ...
+
+
+class SimNetwork:
+    """Hosts + switches + links, executing one SwitchLogic."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        logic: SwitchLogic,
+        seed: int = 0,
+        link_params: Optional[Mapping[Tuple[Location, Location], LinkParams]] = None,
+        default_link: LinkParams = LinkParams(),
+        switch_delay: float = 0.0001,
+    ):
+        self.topology = topology
+        self.logic = logic
+        self.sim = Simulator(seed=seed)
+        self.switch_delay = switch_delay
+        self._default_link = default_link
+        self._link_params: Dict[Tuple[Location, Location], LinkParams] = dict(
+            link_params or {}
+        )
+        self._link_free_at: Dict[Tuple[Location, Location], float] = {}
+        self._switch_free_at: Dict[int, float] = {}
+        self.deliveries: List[DeliveryRecord] = []
+        self.drops: List[DropRecord] = []
+        self.auto_reply: Dict[str, Callable[["SimNetwork", str, Frame], None]] = {}
+        # First time each switch learned each event (for Figure 16b).
+        self.event_learned_at: Dict[Tuple[int, Event], float] = {}
+
+    # -- time -----------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        return self.sim.now
+
+    def run(self, until: Optional[float] = None) -> float:
+        return self.sim.run(until=until)
+
+    # -- injection -------------------------------------------------------------
+
+    def inject(self, host_name: str, frame: Frame, at: float = 0.0) -> None:
+        """Schedule a host to emit a frame at absolute time ``at``."""
+        host = self.topology.host(host_name)
+        location = host.attachment
+
+        def emit() -> None:
+            stamped = self.logic.on_ingress(
+                self, location, replace(frame, injected_at=self.sim.now)
+            )
+            self._arrive_at_switch(location, stamped)
+
+        delay = at - self.sim.now
+        self.sim.schedule(max(0.0, delay), emit)
+
+    # -- switch arrival & processing --------------------------------------------
+
+    def _arrive_at_switch(self, location: Location, frame: Frame) -> None:
+        def process() -> None:
+            outputs = self.logic.process(self, location, frame.with_location(location))
+            if not outputs:
+                self.drops.append(DropRecord(self.sim.now, location, frame))
+                return
+            for port, out_frame in outputs:
+                self._emit(Location(location.switch, port), out_frame)
+
+        # Strategies may declare extra per-packet processing cost (e.g.
+        # tag matching and register updates in the correct logic).  A
+        # switch is a serial resource: software switches process one
+        # packet at a time, so processing cost is real back-pressure.
+        extra = getattr(self.logic, "extra_processing_delay", 0.0)
+        switch_id = location.switch
+        start = max(self.sim.now, self._switch_free_at.get(switch_id, 0.0))
+        finish = start + self.switch_delay + extra
+        self._switch_free_at[switch_id] = finish
+        self.sim.schedule(finish - self.sim.now, process)
+
+    def _emit(self, egress: Location, frame: Frame) -> None:
+        host = self.topology.host_at(egress)
+        if host is not None:
+            self._deliver(host.name, frame)
+            return
+        targets = sorted(
+            self.topology.link_targets(egress), key=lambda l: (l.switch, l.port)
+        )
+        if not targets:
+            self.drops.append(
+                DropRecord(self.sim.now, egress, frame, reason="no-link-at-port")
+            )
+            return
+        self._transmit(egress, targets[0], frame)
+
+    def _transmit(self, src: Location, dst: Location, frame: Frame) -> None:
+        """Send across a link: serialization (capacity) + propagation."""
+        params = self._link_params.get((src, dst), self._default_link)
+        wire_bytes = frame.payload_bytes + self.logic.header_bytes(frame)
+        transmit_time = wire_bytes / params.capacity
+        start = max(self.sim.now, self._link_free_at.get((src, dst), 0.0))
+        finish = start + transmit_time
+        self._link_free_at[(src, dst)] = finish
+        arrival_delay = (finish - self.sim.now) + params.latency
+        moved = frame.with_location(dst)
+        self.sim.schedule(arrival_delay, lambda: self._arrive_at_switch(dst, moved))
+
+    # -- delivery ----------------------------------------------------------------
+
+    def _deliver(self, host_name: str, frame: Frame) -> None:
+        self.deliveries.append(DeliveryRecord(self.sim.now, host_name, frame))
+        handler = self.auto_reply.get(host_name)
+        if handler is not None:
+            handler(self, host_name, frame)
+
+    # -- bookkeeping hooks used by logics ------------------------------------------
+
+    def note_event_learned(self, switch: int, event: Event) -> None:
+        key = (switch, event)
+        if key not in self.event_learned_at:
+            self.event_learned_at[key] = self.sim.now
+
+    # -- statistics ------------------------------------------------------------------
+
+    def deliveries_to(self, host_name: str) -> List[DeliveryRecord]:
+        return [d for d in self.deliveries if d.host == host_name]
+
+    def delivered_flows(self, flow_prefix: Tuple) -> List[DeliveryRecord]:
+        n = len(flow_prefix)
+        return [d for d in self.deliveries if d.frame.flow[:n] == flow_prefix]

@@ -1,0 +1,84 @@
+"""Measurement utilities over simulation results.
+
+Small, composable helpers the benchmarks and examples share: per-second
+delivery histograms (the Figures 11-15 timelines), loss accounting, and
+latency summaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .simulator import DeliveryRecord, SimNetwork
+from .traffic import PingOutcome
+
+__all__ = [
+    "deliveries_per_second",
+    "loss_rate",
+    "LatencySummary",
+    "latency_summary",
+    "success_timeline",
+]
+
+
+def deliveries_per_second(
+    net: SimNetwork,
+    host: Optional[str] = None,
+    flow_prefix: Tuple = (),
+) -> Dict[int, int]:
+    """Histogram of deliveries bucketed by whole second."""
+    buckets: Dict[int, int] = {}
+    n = len(flow_prefix)
+    for record in net.deliveries:
+        if host is not None and record.host != host:
+            continue
+        if flow_prefix and record.frame.flow[:n] != flow_prefix:
+            continue
+        bucket = int(record.time)
+        buckets[bucket] = buckets.get(bucket, 0) + 1
+    return buckets
+
+
+def loss_rate(outcomes: Sequence[PingOutcome]) -> float:
+    """Fraction of pings that never completed (0.0 when none sent)."""
+    if not outcomes:
+        return 0.0
+    lost = sum(1 for o in outcomes if not o.succeeded)
+    return lost / len(outcomes)
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Round-trip latency statistics over completed pings."""
+
+    count: int
+    minimum: float
+    median: float
+    maximum: float
+
+    @staticmethod
+    def empty() -> "LatencySummary":
+        return LatencySummary(0, float("nan"), float("nan"), float("nan"))
+
+
+def latency_summary(outcomes: Sequence[PingOutcome]) -> LatencySummary:
+    """Min/median/max round-trip time of the successful pings."""
+    rtts = sorted(
+        o.completed_at - o.sent_at
+        for o in outcomes
+        if o.succeeded and o.completed_at is not None
+    )
+    if not rtts:
+        return LatencySummary.empty()
+    return LatencySummary(
+        count=len(rtts),
+        minimum=rtts[0],
+        median=rtts[len(rtts) // 2],
+        maximum=rtts[-1],
+    )
+
+
+def success_timeline(outcomes: Sequence[PingOutcome]) -> List[Tuple[float, bool]]:
+    """(sent_at, succeeded) pairs in send order -- the Figures 11-15 shape."""
+    return [(o.sent_at, o.succeeded) for o in sorted(outcomes, key=lambda o: o.sent_at)]

@@ -1,0 +1,35 @@
+"""The rule-sharing optimization of section 5.3."""
+
+from .sharing import (
+    NESOptimization,
+    SwitchOptimization,
+    guarded_rules_of_trie,
+    optimize_compiled_nes,
+    optimized_table_equivalent,
+)
+from .trie import (
+    OptimizationResult,
+    TrieNode,
+    build_trie,
+    exact_best_order,
+    heuristic_order,
+    naive_rule_count,
+    optimize_configurations,
+    trie_rule_count,
+)
+
+__all__ = [
+    "TrieNode",
+    "build_trie",
+    "trie_rule_count",
+    "naive_rule_count",
+    "heuristic_order",
+    "exact_best_order",
+    "optimize_configurations",
+    "OptimizationResult",
+    "optimize_compiled_nes",
+    "optimized_table_equivalent",
+    "NESOptimization",
+    "SwitchOptimization",
+    "guarded_rules_of_trie",
+]

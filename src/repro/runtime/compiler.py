@@ -1,0 +1,184 @@
+"""The implementation pipeline of section 4: NES -> deployable artifacts.
+
+Five steps (section 1, "Implementing Network Programs"):
+
+1. encode the event-sets of the NES as flat integer tags;
+2. compile each configuration to per-switch flow tables;
+3. guard each configuration's rules with its tag;
+4. stamp incoming packets with the tag of the current event-set;
+5. learn events from packet digests and forward them onward.
+
+Steps 1-3 are realized here.  Steps 4-5 are the switch-local behavior of
+the operational semantics (:mod:`repro.runtime.semantics`), which the
+paper likewise folds into the runtime (the IN and SWITCH rules); their
+rule-space cost is accounted for by :meth:`CompiledNES.stamp_rule_count`
+so total rule counts include them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Tuple
+
+from ..events.event import Event, EventSet
+from ..events.locality import is_locally_determined, locality_violations
+from ..events.nes import NES
+from ..netkat.compiler import Configuration, compile_policy
+from ..netkat.fdd import FDDBuilder
+from ..netkat.flowtable import FlowTable, Match, Rule
+from ..stateful.ast import StateVector
+from ..topology import Topology
+
+__all__ = ["TAG_FIELD", "CompiledNES", "LocalityError", "compile_nes"]
+
+# The packet metadata field carrying the configuration tag in deployed
+# (guarded) tables; a single unused header field, as section 4.1 argues.
+TAG_FIELD = "tag"
+
+
+class LocalityError(Exception):
+    """The NES is not locally determined, so it cannot be implemented
+    without synchronization or buffering (Lemma 1)."""
+
+
+class CompiledNES:
+    """An NES compiled to tags, per-state configurations, and guarded tables."""
+
+    def __init__(self, nes: NES, topology: Topology, builder: Optional[FDDBuilder] = None):
+        self.nes = nes
+        self.topology = topology
+        self._builder = builder or FDDBuilder()
+
+        # Step 1: flat integer encodings.
+        self.states: Tuple[StateVector, ...] = nes.configuration_states()
+        self.config_ids: Dict[StateVector, int] = {
+            state: i for i, state in enumerate(self.states)
+        }
+        self.event_sets: Tuple[EventSet, ...] = tuple(
+            sorted(nes.event_sets(), key=lambda s: (len(s), sorted(map(repr, s))))
+        )
+        self.event_set_ids: Dict[EventSet, int] = {
+            s: i for i, s in enumerate(self.event_sets)
+        }
+        self.event_bits: Dict[Event, int] = {
+            e: i for i, e in enumerate(sorted(nes.events, key=repr))
+        }
+
+        # Step 2: compile every configuration.
+        self.configurations: Dict[StateVector, Configuration] = {
+            state: compile_policy(
+                nes.configuration_policy(state),
+                topology,
+                builder=self._builder,
+                name=f"C{list(state)}",
+            )
+            for state in self.states
+        }
+
+    # -- tag and digest encodings ----------------------------------------------
+
+    def tag_of_event_set(self, event_set: Iterable[Event]) -> int:
+        """The configuration tag stamped on packets entering at this event-set."""
+        return self.config_ids[self.nes.state_of(frozenset(event_set))]
+
+    def encode_digest(self, events: Iterable[Event]) -> int:
+        """Event-set as a bitmask -- the packet digest wire format."""
+        mask = 0
+        for event in events:
+            mask |= 1 << self.event_bits[event]
+        return mask
+
+    def decode_digest(self, mask: int) -> EventSet:
+        out = set()
+        for event, bit in self.event_bits.items():
+            if mask & (1 << bit):
+                out.add(event)
+        return frozenset(out)
+
+    # -- configuration access ---------------------------------------------------
+
+    def config_for_state(self, state: StateVector) -> Configuration:
+        return self.configurations[state]
+
+    def config_for_event_set(self, event_set: Iterable[Event]) -> Configuration:
+        return self.configurations[self.nes.state_of(frozenset(event_set))]
+
+    # -- step 3: guarded merged tables ------------------------------------------
+
+    def guarded_tables(self) -> Dict[int, FlowTable]:
+        """One deployable table per switch: every configuration's rules,
+        each guarded by its configuration tag.
+
+        Priorities are partitioned per configuration; tags make the
+        partitions disjoint, so relative priorities within each
+        configuration are preserved.
+        """
+        tables: Dict[int, List[Rule]] = {n: [] for n in self.topology.switches}
+        for state in self.states:
+            config_id = self.config_ids[state]
+            config = self.configurations[state]
+            for switch, table in config.tables.items():
+                for rule in table:
+                    guarded_match = rule.match.extended(TAG_FIELD, config_id)
+                    tables.setdefault(switch, []).append(
+                        Rule(rule.priority, guarded_match, rule.actions)
+                    )
+        return {n: FlowTable(rules) for n, rules in tables.items()}
+
+    def forwarding_rule_count(self) -> int:
+        """Rules in the guarded merged tables (steps 1-3)."""
+        return sum(len(t) for t in self.guarded_tables().values())
+
+    def stamp_rule_count(self) -> int:
+        """Rules implementing ingress stamping (step 4).
+
+        One rule per host-facing port per configuration tag: "if the
+        local register maps to tag j, set tag <- j on packets entering
+        this port".
+        """
+        return len(self.topology.edge_locations()) * len(self.states)
+
+    def total_rule_count(self) -> int:
+        """The §5.1 metric: forwarding + stamping rules."""
+        return self.forwarding_rule_count() + self.stamp_rule_count()
+
+    # -- per-configuration rule view (input to the §5.3 optimizer) --------------
+
+    def rules_by_configuration(self, switch: int) -> Dict[int, FrozenSet[Rule]]:
+        """Unguarded rule sets per configuration ID at one switch."""
+        out: Dict[int, FrozenSet[Rule]] = {}
+        for state in self.states:
+            config_id = self.config_ids[state]
+            out[config_id] = frozenset(self.configurations[state].table(switch).rules)
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"CompiledNES({len(self.states)} configurations, "
+            f"{len(self.nes.events)} events, "
+            f"{self.total_rule_count()} rules)"
+        )
+
+
+def compile_nes(
+    nes: NES,
+    topology: Topology,
+    builder: Optional[FDDBuilder] = None,
+    enforce_locality: bool = True,
+) -> CompiledNES:
+    """Compile an NES, first checking the locally-determined condition.
+
+    Implementations of non-locally-determined NESs must synchronize or
+    buffer (Lemma 1), which this runtime does not do -- so by default
+    compilation refuses them.
+    """
+    if enforce_locality:
+        violations = locality_violations(nes)
+        if violations:
+            sample = next(iter(violations))
+            raise LocalityError(
+                "NES is not locally determined: the minimally-inconsistent "
+                f"set {set(sample)} spans multiple switches "
+                f"({len(violations)} violation(s) total)"
+            )
+    return CompiledNES(nes, topology, builder=builder)

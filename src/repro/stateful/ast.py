@@ -1,0 +1,130 @@
+"""Stateful NetKAT abstract syntax (Figure 4).
+
+Stateful NetKAT extends NetKAT with a global vector-valued variable
+``state``:
+
+- the test ``state(m) = n`` (:class:`StateTest`), and
+- the guarded link ``(n1:m1) -> (n2:m2) <state(m) <- n>``
+  (:class:`LinkUpdate`) which forwards across a link *and* records a
+  state transition triggered by the packet's arrival at the link's
+  destination.
+
+Everything else (tests, assignments, union, sequence, star, links) is
+shared with :mod:`repro.netkat.ast`; the constructors here return plain
+NetKAT nodes extended with the two stateful forms, so the whole stateful
+program is one AST.
+
+State vectors are tuples of ints.  The helpers :func:`state_eq` /
+:func:`link_update` support the paper's ``state=[0]`` / ``state<-[1]``
+whole-vector sugar used throughout Figure 9.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence, Tuple
+
+from ..netkat.ast import Conj, Policy, Predicate, conj
+from ..netkat.packet import Location
+
+__all__ = [
+    "StateVector",
+    "StateTest",
+    "LinkUpdate",
+    "state_test",
+    "state_eq",
+    "link_update",
+    "vector_update",
+    "uses_state",
+]
+
+StateVector = Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class StateTest(Predicate):
+    """The test ``state(component) = value``."""
+
+    component: int
+    value: int
+
+    def __repr__(self) -> str:
+        return f"state({self.component})={self.value}"
+
+
+@dataclass(frozen=True)
+class LinkUpdate(Policy):
+    """A link that also performs state updates: ``(src)->(dst)<state(m)<-n>``.
+
+    ``updates`` is a tuple of (component, value) pairs applied to the
+    global state when the event fires (the paper's Figure 4 allows one
+    component; Figure 9's ``state<-[2]`` whole-vector form needs several,
+    so we generalize).
+    """
+
+    src: Location
+    dst: Location
+    updates: Tuple[Tuple[int, int], ...]
+
+    def __repr__(self) -> str:
+        ups = ",".join(f"state({m})<-{n}" for m, n in self.updates)
+        return f"({self.src})->({self.dst})<{ups}>"
+
+
+def state_test(component: int, value: int) -> Predicate:
+    """The single-component test ``state(component) = value``."""
+    return StateTest(component, value)
+
+
+def state_eq(vector: Sequence[int]) -> Predicate:
+    """Whole-vector sugar: ``state = [v0, v1, ...]``."""
+    return conj(*(StateTest(i, v) for i, v in enumerate(vector)))
+
+
+def link_update(
+    src: str | Location,
+    dst: str | Location,
+    updates: Iterable[Tuple[int, int]] | Sequence[int],
+) -> Policy:
+    """Build a state-updating link.
+
+    ``updates`` is either an iterable of (component, value) pairs or a
+    full vector of values (the ``state <- [..]`` sugar).
+    """
+    src_loc = src if isinstance(src, Location) else Location.parse(src)
+    dst_loc = dst if isinstance(dst, Location) else Location.parse(dst)
+    update_list = list(updates)
+    if update_list and not isinstance(update_list[0], tuple):
+        pairs = tuple(enumerate(update_list))  # whole-vector form
+    else:
+        pairs = tuple(update_list)
+    return LinkUpdate(src_loc, dst_loc, pairs)
+
+
+def vector_update(vector: StateVector, updates: Iterable[Tuple[int, int]]) -> StateVector:
+    """Apply component updates to a state vector: ``k[m -> n]``."""
+    out = list(vector)
+    for component, value in updates:
+        if component < 0 or component >= len(out):
+            raise IndexError(
+                f"state component {component} out of range for vector {vector}"
+            )
+        out[component] = value
+    return tuple(out)
+
+
+def uses_state(node: Policy | Predicate) -> bool:
+    """Does this (sub)program mention the global state at all?"""
+    from ..netkat.ast import Disj, Filter, Neg, Seq, Star, Union
+
+    if isinstance(node, (StateTest, LinkUpdate)):
+        return True
+    if isinstance(node, Filter):
+        return uses_state(node.predicate)
+    if isinstance(node, Neg):
+        return uses_state(node.operand)
+    if isinstance(node, (Conj, Disj, Union, Seq)):
+        return uses_state(node.left) or uses_state(node.right)
+    if isinstance(node, Star):
+        return uses_state(node.operand)
+    return False

@@ -1,0 +1,150 @@
+"""Event-driven transition systems (Definition 7) and ``ETS(p)``.
+
+An ETS is a graph whose vertices are labeled by network configurations
+and whose edges are labeled by events.  For a Stateful NetKAT program
+``p`` with initial state ``~k0``, the construction of section 3.3 yields
+vertices ``(~k, ⟦p⟧~k)`` and edges ``fst(⟬p⟭~k true)``.
+
+We build the reachable fragment by breadth-first exploration from the
+initial state; unreachable state vectors never influence runtime
+behavior.  The full vertex set of the paper (all ``~k``) can be obtained
+with an explicit ``state_space``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..events.event import Event
+from ..netkat.ast import Policy
+from .ast import StateVector
+from .events import EventEdge, extract
+from .projection import project
+
+__all__ = ["ETS", "build_ets"]
+
+
+@dataclass(frozen=True)
+class ETS:
+    """An event-driven transition system over state vectors.
+
+    ``vertices`` maps each state vector to its projected configuration
+    policy; ``edges`` are the event-labeled transitions; ``initial`` is
+    ``v0``.
+    """
+
+    initial: StateVector
+    vertices: Tuple[Tuple[StateVector, Policy], ...]
+    edges: FrozenSet[EventEdge]
+
+    def configuration(self, state: StateVector) -> Policy:
+        for vertex_state, policy in self.vertices:
+            if vertex_state == state:
+                return policy
+        raise KeyError(f"state {state} is not a vertex of this ETS")
+
+    def states(self) -> Tuple[StateVector, ...]:
+        return tuple(state for state, _ in self.vertices)
+
+    def out_edges(self, state: StateVector) -> Tuple[EventEdge, ...]:
+        return tuple(
+            sorted(
+                (e for e in self.edges if e.src == state),
+                key=lambda e: (repr(e.event), e.dst),
+            )
+        )
+
+    def events(self) -> FrozenSet[Event]:
+        return frozenset(e.event for e in self.edges)
+
+    def has_loops(self) -> bool:
+        """Is any state reachable from itself via one or more edges?"""
+        adjacency: Dict[StateVector, List[StateVector]] = {}
+        for e in self.edges:
+            adjacency.setdefault(e.src, []).append(e.dst)
+        WHITE, GRAY, BLACK = 0, 1, 2
+        color: Dict[StateVector, int] = {}
+
+        def visit(node: StateVector) -> bool:
+            color[node] = GRAY
+            for nxt in adjacency.get(node, ()):
+                c = color.get(nxt, WHITE)
+                if c == GRAY:
+                    return True
+                if c == WHITE and visit(nxt):
+                    return True
+            color[node] = BLACK
+            return False
+
+        return any(
+            visit(state)
+            for state, _ in self.vertices
+            if color.get(state, WHITE) == WHITE
+        )
+
+    def __repr__(self) -> str:
+        lines = [f"ETS(initial={list(self.initial)})"]
+        for state, _ in self.vertices:
+            marker = "*" if state == self.initial else " "
+            lines.append(f" {marker} {list(state)}")
+            for e in self.out_edges(state):
+                lines.append(f"     --{e.event!r}--> {list(e.dst)}")
+        return "\n".join(lines)
+
+
+def build_ets(
+    program: Policy,
+    initial: StateVector,
+    state_space: Optional[Iterable[StateVector]] = None,
+    max_states: int = 10_000,
+) -> ETS:
+    """Construct ``ETS(program)`` from the initial state.
+
+    By default only states reachable from ``initial`` become vertices;
+    pass ``state_space`` to force a specific vertex set (every reachable
+    state must be included in it).
+    """
+    allowed: Optional[Set[StateVector]] = (
+        set(state_space) if state_space is not None else None
+    )
+    if allowed is not None and initial not in allowed:
+        raise ValueError(f"initial state {initial} not in the given state space")
+
+    visited: Set[StateVector] = {initial}
+    order: List[StateVector] = [initial]
+    edges: Set[EventEdge] = set()
+    queue = deque([initial])
+    while queue:
+        state = queue.popleft()
+        for edge in extract(program, state).edges:
+            if edge.dst == edge.src:
+                # An update that rewrites the state to its current value is
+                # an identity transition; the paper's ETSs omit them (e.g.
+                # the learning switch re-"learns" H1 in state [1] without a
+                # new event occurrence).
+                continue
+            edges.add(edge)
+            dst = edge.dst
+            if allowed is not None and dst not in allowed:
+                raise ValueError(
+                    f"reachable state {dst} is outside the given state space"
+                )
+            if dst not in visited:
+                if len(visited) >= max_states:
+                    raise RuntimeError(
+                        f"ETS exploration exceeded {max_states} states"
+                    )
+                visited.add(dst)
+                order.append(dst)
+                queue.append(dst)
+
+    if allowed is not None:
+        for extra in sorted(allowed - visited):
+            order.append(extra)
+            for edge in extract(program, extra).edges:
+                edges.add(edge)
+
+    vertices = tuple((state, project(program, state)) for state in order)
+    return ETS(initial=initial, vertices=vertices, edges=frozenset(edges))

@@ -1,0 +1,198 @@
+"""Event-edge extraction ``⟬p⟭~k`` (Figure 6).
+
+Walking the program for a fixed state vector ``~k``, this collects the
+conjunction ``phi`` of header-field tests seen along each control path
+and records an *event edge* ``(~k, (phi, s2, p2), ~k[m -> n])`` at every
+state-updating link.  The result is the pair ``(D, P)``: the set of
+event edges, and the set of updated path formulas.
+
+Faithful to the figure:
+
+- ``sw``/``pt`` tests (and assignments) do not refine ``phi`` -- the
+  event's location comes from the link destination, not the formula;
+- a field assignment ``f <- n`` replaces knowledge about ``f``
+  (``(exists f: phi) AND f=n``);
+- state tests are resolved against ``~k``;
+- negation is pushed to literals (``L not (v = n)M = L v != nM``);
+- ``a AND b`` extracts like ``a ; b`` and ``a OR b`` like ``a + b``;
+- ``p*`` is the join of the iterates ``F_p^j``, computed to fixpoint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Optional, Set, Tuple
+
+from ..events.event import Event
+from ..netkat.ast import (
+    Assign,
+    Conj,
+    Disj,
+    Dup,
+    Filter,
+    Link,
+    Neg,
+    PFalse,
+    PTrue,
+    Policy,
+    Predicate,
+    Seq,
+    Star,
+    Test,
+    Union,
+)
+from ..netkat.packet import PT, SW
+from .ast import LinkUpdate, StateTest, StateVector, vector_update
+from ..formula import EQ, Formula, Literal, NE
+
+__all__ = ["EventEdge", "ExtractResult", "extract", "STAR_EXTRACT_FUEL"]
+
+STAR_EXTRACT_FUEL = 100
+
+
+@dataclass(frozen=True)
+class EventEdge:
+    """An ETS edge: state ``src`` transitions to ``dst`` on ``event``."""
+
+    src: StateVector
+    event: Event
+    dst: StateVector
+
+    def __repr__(self) -> str:
+        return f"{list(self.src)} --{self.event!r}--> {list(self.dst)}"
+
+
+@dataclass(frozen=True)
+class ExtractResult:
+    """The pair ``(D, P)`` of Figure 6."""
+
+    edges: FrozenSet[EventEdge]
+    formulas: FrozenSet[Formula]
+
+    @staticmethod
+    def of(phi: Optional[Formula]) -> "ExtractResult":
+        if phi is None:
+            return ExtractResult(frozenset(), frozenset())
+        return ExtractResult(frozenset(), frozenset((phi,)))
+
+    def join(self, other: "ExtractResult") -> "ExtractResult":
+        """Pointwise union (the figure's ⊔)."""
+        return ExtractResult(
+            self.edges | other.edges, self.formulas | other.formulas
+        )
+
+
+_EMPTY = ExtractResult(frozenset(), frozenset())
+
+
+def extract(p: Policy, state: StateVector, phi: Optional[Formula] = None) -> ExtractResult:
+    """Compute ``⟬p⟭~k phi``."""
+    if phi is None:
+        phi = Formula.true()
+    if isinstance(p, Filter):
+        return _extract_predicate(p.predicate, state, phi, positive=True)
+    if isinstance(p, Assign):
+        if p.field in (SW, PT):
+            return ExtractResult.of(phi)
+        updated = phi.without_field(p.field).conjoin(Literal(p.field, EQ, p.value))
+        return ExtractResult.of(updated)
+    if isinstance(p, Union):
+        return extract(p.left, state, phi).join(extract(p.right, state, phi))
+    if isinstance(p, Seq):
+        return _kleisli(p.left, p.right, state, phi)
+    if isinstance(p, Star):
+        return _extract_star(p.operand, state, phi)
+    if isinstance(p, Dup):
+        return ExtractResult.of(phi)
+    if isinstance(p, LinkUpdate):
+        event = Event(phi, p.dst)
+        edge = EventEdge(state, event, vector_update(state, p.updates))
+        return ExtractResult(frozenset((edge,)), frozenset((phi,)))
+    if isinstance(p, Link):
+        return ExtractResult.of(phi)
+    raise TypeError(f"not a stateful policy: {p!r}")
+
+
+def _kleisli(left: Policy, right: Policy, state: StateVector, phi: Formula) -> ExtractResult:
+    """``(⟬left⟭ ‚ ⟬right⟭) phi`` -- thread each left formula through right."""
+    first = extract(left, state, phi)
+    result = ExtractResult(first.edges, frozenset())
+    for psi in first.formulas:
+        result = result.join(extract(right, state, psi))
+    return result
+
+
+def _extract_star(body: Policy, state: StateVector, phi: Formula) -> ExtractResult:
+    """``⟬p*⟭ phi = ⊔_j F_p^j(phi, ~k)`` iterated to fixpoint."""
+    # F^0 = ({}, {phi}); F^(j+1) = ⟬p⟭ ‚ F^j.
+    total = ExtractResult.of(phi)
+    frontier_formulas: FrozenSet[Formula] = frozenset((phi,))
+    for _ in range(STAR_EXTRACT_FUEL):
+        step = _EMPTY
+        for psi in frontier_formulas:
+            step = step.join(extract(body, state, psi))
+        new_total = total.join(step)
+        new_frontier = step.formulas - total.formulas
+        if new_total == total and not new_frontier:
+            return total
+        total = new_total
+        frontier_formulas = step.formulas
+        if not frontier_formulas:
+            return total
+    raise RuntimeError(
+        f"event extraction for p* did not converge in {STAR_EXTRACT_FUEL} steps"
+    )
+
+
+def _extract_predicate(
+    a: Predicate, state: StateVector, phi: Formula, positive: bool
+) -> ExtractResult:
+    """Extract from a test, with negation pushed down to literals."""
+    if isinstance(a, PTrue):
+        return ExtractResult.of(phi) if positive else _EMPTY
+    if isinstance(a, PFalse):
+        return _EMPTY if positive else ExtractResult.of(phi)
+    if isinstance(a, Test):
+        if a.field in (SW, PT):
+            # Location tests never refine the event guard (Figure 6).
+            return ExtractResult.of(phi)
+        op = EQ if positive else NE
+        return ExtractResult.of(phi.conjoin(Literal(a.field, op, a.value)))
+    if isinstance(a, StateTest):
+        holds = state[a.component] == a.value
+        if not positive:
+            holds = not holds
+        return ExtractResult.of(phi) if holds else _EMPTY
+    if isinstance(a, Neg):
+        return _extract_predicate(a.operand, state, phi, not positive)
+    if isinstance(a, Conj):
+        if positive:
+            return _pred_seq(a.left, a.right, state, phi, True, True)
+        # not (a and b) = (not a) or (not b)
+        return _extract_predicate(a.left, state, phi, False).join(
+            _extract_predicate(a.right, state, phi, False)
+        )
+    if isinstance(a, Disj):
+        if positive:
+            return _extract_predicate(a.left, state, phi, True).join(
+                _extract_predicate(a.right, state, phi, True)
+            )
+        # not (a or b) = (not a) and (not b)
+        return _pred_seq(a.left, a.right, state, phi, False, False)
+    raise TypeError(f"not a predicate: {a!r}")
+
+
+def _pred_seq(
+    left: Predicate,
+    right: Predicate,
+    state: StateVector,
+    phi: Formula,
+    left_positive: bool,
+    right_positive: bool,
+) -> ExtractResult:
+    """Conjunction as sequencing: thread left's formulas through right."""
+    first = _extract_predicate(left, state, phi, left_positive)
+    result = ExtractResult(first.edges, frozenset())
+    for psi in first.formulas:
+        result = result.join(_extract_predicate(right, state, psi, right_positive))
+    return result

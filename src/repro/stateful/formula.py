@@ -1,0 +1,11 @@
+"""Re-export of :mod:`repro.formula` under its historical location.
+
+The formula machinery is shared by the stateful language (event
+extraction) and the events package (guards on events), so it lives at
+the package root; this alias keeps ``repro.stateful.formula`` imports
+working.
+"""
+
+from ..formula import EQ, Formula, Literal, NE
+
+__all__ = ["Formula", "Literal", "EQ", "NE"]

@@ -1,0 +1,70 @@
+"""Projection ``⟦p⟧~k``: the NetKAT configuration at state ``~k`` (Figure 5).
+
+Given a Stateful NetKAT program and a concrete state vector, projection
+replaces every ``state(m)=n`` test by ``true``/``false`` and every
+state-updating link by the plain link, yielding a standard NetKAT policy
+-- the static configuration installed while the network is in that state.
+"""
+
+from __future__ import annotations
+
+from ..netkat.ast import (
+    Conj,
+    Disj,
+    FALSE,
+    Filter,
+    Link,
+    Neg,
+    Policy,
+    Predicate,
+    Seq,
+    Star,
+    TRUE,
+    Union,
+    conj,
+    disj,
+    neg,
+    seq,
+    star,
+    union,
+)
+from .ast import LinkUpdate, StateTest, StateVector
+
+__all__ = ["project", "project_predicate"]
+
+
+def project_predicate(a: Predicate, state: StateVector) -> Predicate:
+    """Resolve state tests in a predicate under state vector ``state``."""
+    if isinstance(a, StateTest):
+        if a.component < 0 or a.component >= len(state):
+            raise IndexError(
+                f"state component {a.component} out of range for vector {state}"
+            )
+        return TRUE if state[a.component] == a.value else FALSE
+    if isinstance(a, Neg):
+        return neg(project_predicate(a.operand, state))
+    if isinstance(a, Conj):
+        return conj(
+            project_predicate(a.left, state), project_predicate(a.right, state)
+        )
+    if isinstance(a, Disj):
+        return disj(
+            project_predicate(a.left, state), project_predicate(a.right, state)
+        )
+    return a  # true / false / field tests contain no state
+
+
+def project(p: Policy, state: StateVector) -> Policy:
+    """The configuration ``⟦p⟧~k`` as a plain NetKAT policy."""
+    if isinstance(p, LinkUpdate):
+        # ⟦(a:b)->(c:d)<state(m)<-n>⟧~k = ⟦(a:b)->(c:d)⟧~k
+        return Link(p.src, p.dst)
+    if isinstance(p, Filter):
+        return Filter(project_predicate(p.predicate, state))
+    if isinstance(p, Union):
+        return union(project(p.left, state), project(p.right, state))
+    if isinstance(p, Seq):
+        return seq(project(p.left, state), project(p.right, state))
+    if isinstance(p, Star):
+        return star(project(p.operand, state))
+    return p  # assignments, dup, plain links

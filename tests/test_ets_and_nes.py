@@ -1,0 +1,313 @@
+"""Tests for ETS construction, ETS->NES conversion (section 3.1), and
+locality (section 2) -- including the paper's own examples: the Figure 3
+transition systems and the P1/P2 locality programs."""
+
+import pytest
+
+from repro.events.ets_to_nes import (
+    FiniteCompletenessError,
+    UniqueConfigurationError,
+    check_finite_complete,
+    family_of_ets,
+    nes_of_ets,
+)
+from repro.events.event import Event
+from repro.events.locality import (
+    is_locally_determined,
+    locality_violations,
+    minimally_inconsistent_sets,
+)
+from repro.formula import EQ, Formula, Literal
+from repro.netkat.ast import assign, filter_, link, seq, test as field_test, union
+from repro.netkat.packet import Location
+from repro.stateful.ast import link_update, state_eq
+from repro.stateful.ets import ETS, build_ets
+from repro.stateful.events import EventEdge
+
+
+def ev(field, value, sw, pt, eid=0):
+    return Event(Formula((Literal(field, EQ, value),)), Location(sw, pt), eid)
+
+
+def make_ets(initial, vertex_configs, edges):
+    """Hand-build an ETS; vertex_configs maps state -> distinct policy."""
+    vertices = tuple((s, vertex_configs[s]) for s in vertex_configs)
+    return ETS(initial=initial, vertices=vertices, edges=frozenset(edges))
+
+
+def distinct_policies(states):
+    return {s: assign("cfg", i) for i, s in enumerate(states)}
+
+
+class TestBuildETS:
+    def test_firewall_shape(self):
+        prog = union(
+            seq(
+                filter_(field_test("ip_dst", 4)),
+                union(
+                    seq(filter_(state_eq([0])), link_update("1:1", "4:1", [1])),
+                    seq(filter_(~state_eq([0])), link("1:1", "4:1")),
+                ),
+            ),
+            seq(filter_(field_test("ip_dst", 1) & state_eq([1])), link("4:1", "1:1")),
+        )
+        ets = build_ets(prog, (0,))
+        assert ets.states() == ((0,), (1,))
+        (edge,) = ets.edges
+        assert edge.src == (0,) and edge.dst == (1,)
+
+    def test_identity_updates_skipped(self):
+        prog = seq(filter_(state_eq([1])), link_update("1:1", "4:1", [1]))
+        ets = build_ets(prog, (1,))
+        assert ets.edges == frozenset()
+
+    def test_unreachable_states_excluded_by_default(self):
+        prog = seq(filter_(state_eq([0])), link_update("1:1", "4:1", [1]))
+        ets = build_ets(prog, (0,))
+        assert set(ets.states()) == {(0,), (1,)}
+
+    def test_explicit_state_space(self):
+        prog = seq(filter_(state_eq([0])), link_update("1:1", "4:1", [1]))
+        ets = build_ets(prog, (0,), state_space=[(0,), (1,), (2,)])
+        assert set(ets.states()) == {(0,), (1,), (2,)}
+
+    def test_state_space_must_contain_initial(self):
+        with pytest.raises(ValueError):
+            build_ets(assign("a", 1), (0,), state_space=[(1,)])
+
+    def test_state_space_must_cover_reachable(self):
+        prog = seq(filter_(state_eq([0])), link_update("1:1", "4:1", [1]))
+        with pytest.raises(ValueError):
+            build_ets(prog, (0,), state_space=[(0,)])
+
+    def test_loop_detection(self):
+        prog = union(
+            seq(filter_(state_eq([0])), link_update("1:1", "4:1", [1])),
+            seq(filter_(state_eq([1])), link_update("1:1", "4:1", [0])),
+        )
+        ets = build_ets(prog, (0,))
+        assert ets.has_loops()
+
+    def test_chain_is_not_loop(self):
+        prog = union(
+            seq(filter_(state_eq([0])), link_update("1:1", "4:1", [1])),
+            seq(filter_(state_eq([1])), link_update("1:1", "4:1", [2])),
+        )
+        assert not build_ets(prog, (0,)).has_loops()
+
+
+class TestFamilyOfETS:
+    def test_figure_3a_compatible_events(self):
+        """Two events in any order -> the full diamond family."""
+        e1, e2 = ev("a", 1, 1, 1), ev("b", 1, 2, 1)
+        states = [(0,), (1,), (2,), (3,)]
+        ets = make_ets(
+            (0,),
+            distinct_policies(states),
+            [
+                EventEdge((0,), e1, (1,)),
+                EventEdge((0,), e2, (2,)),
+                EventEdge((1,), e2, (3,)),
+                EventEdge((2,), e1, (3,)),
+            ],
+        )
+        family = family_of_ets(ets)
+        assert set(family) == {
+            frozenset(),
+            frozenset({e1}),
+            frozenset({e2}),
+            frozenset({e1, e2}),
+        }
+
+    def test_figure_3b_incompatible_events(self):
+        """Two events, only one of which may occur."""
+        e1, e2 = ev("a", 1, 1, 1), ev("b", 1, 1, 1)
+        states = [(0,), (1,), (2,)]
+        ets = make_ets(
+            (0,),
+            distinct_policies(states),
+            [EventEdge((0,), e1, (1,)), EventEdge((0,), e2, (2,))],
+        )
+        family = family_of_ets(ets)
+        assert set(family) == {frozenset(), frozenset({e1}), frozenset({e2})}
+        nes = nes_of_ets(ets)
+        assert not nes.con({e1, e2})
+
+    def test_figure_3c_violates_finite_completeness(self):
+        """E1={e1}, E2={e3} have upper bound {e1,e4,e3} but {e1,e3} is
+        missing -- the paper's counterexample."""
+        e1, e3, e4 = ev("a", 1, 1, 1), ev("c", 1, 1, 1), ev("d", 1, 1, 1)
+        states = [(0,), (1,), (2,), (3,), (4,)]
+        ets = make_ets(
+            (0,),
+            distinct_policies(states),
+            [
+                EventEdge((0,), e1, (1,)),
+                EventEdge((0,), e3, (2,)),
+                EventEdge((1,), e4, (3,)),
+                EventEdge((3,), e3, (4,)),
+            ],
+        )
+        family = family_of_ets(ets)
+        assert check_finite_complete(family)
+        with pytest.raises(FiniteCompletenessError):
+            nes_of_ets(ets)
+
+    def test_unique_configuration_violation(self):
+        """Same event reaching states with different configurations."""
+        e1, e2 = ev("a", 1, 1, 1), ev("b", 1, 1, 1)
+        states = [(0,), (1,), (2,), (3,), (4,)]
+        ets = make_ets(
+            (0,),
+            distinct_policies(states),
+            [
+                EventEdge((0,), e1, (1,)),
+                EventEdge((0,), e2, (2,)),
+                EventEdge((1,), e2, (3,)),
+                EventEdge((2,), e1, (4,)),  # {e1,e2} again, different config
+            ],
+        )
+        with pytest.raises(UniqueConfigurationError):
+            family_of_ets(ets)
+
+    def test_same_event_set_same_config_allowed(self):
+        """A true diamond: both orders reach the same configuration."""
+        e1, e2 = ev("a", 1, 1, 1), ev("b", 1, 1, 1)
+        configs = distinct_policies([(0,), (1,), (2,), (3,)])
+        ets = make_ets(
+            (0,),
+            configs,
+            [
+                EventEdge((0,), e1, (1,)),
+                EventEdge((0,), e2, (2,)),
+                EventEdge((1,), e2, (3,)),
+                EventEdge((2,), e1, (3,)),
+            ],
+        )
+        nes = nes_of_ets(ets)
+        assert nes.state_of({e1, e2}) == (3,)
+
+    def test_chain_renames_repeated_events(self):
+        """The bandwidth-cap pattern: one syntactic event per chain level."""
+        e = ev("a", 1, 1, 1)
+        states = [(0,), (1,), (2,)]
+        ets = make_ets(
+            (0,),
+            distinct_policies(states),
+            [EventEdge((0,), e, (1,)), EventEdge((1,), e, (2,))],
+        )
+        family = family_of_ets(ets)
+        assert frozenset({e.renamed(0)}) in family
+        assert frozenset({e.renamed(0), e.renamed(1)}) in family
+
+    def test_unbounded_loop_detected(self):
+        e = ev("a", 1, 1, 1)
+        ets = make_ets(
+            (0,),
+            distinct_policies([(0,), (1,)]),
+            [EventEdge((0,), e, (1,)), EventEdge((1,), e, (0,))],
+        )
+        from repro.events.ets_to_nes import ETSConversionError
+
+        with pytest.raises(ETSConversionError):
+            family_of_ets(ets, max_occurrences=8)
+
+
+class TestNES:
+    def make_firewall_nes(self):
+        prog = union(
+            seq(
+                filter_(field_test("ip_dst", 4)),
+                union(
+                    seq(filter_(state_eq([0])), link_update("1:1", "4:1", [1])),
+                    seq(filter_(~state_eq([0])), link("1:1", "4:1")),
+                ),
+            ),
+        )
+        return nes_of_ets(build_ets(prog, (0,)))
+
+    def test_g_total_on_event_sets(self):
+        nes = self.make_firewall_nes()
+        for es in nes.event_sets():
+            nes.config_of(es)  # must not raise
+
+    def test_g_rejects_non_event_sets(self):
+        nes = self.make_firewall_nes()
+        bogus = ev("zzz", 1, 9, 9)
+        with pytest.raises(KeyError):
+            nes.state_of({bogus})
+
+    def test_initial_state(self):
+        assert self.make_firewall_nes().initial_state == (0,)
+
+    def test_structure_event_sets_equal_family(self):
+        """The reconstructed structure's event-sets are exactly F(T)."""
+        nes = self.make_firewall_nes()
+        assert nes.structure.event_sets() == nes.event_sets()
+
+    def test_newly_enabled(self):
+        nes = self.make_firewall_nes()
+        (event,) = nes.events
+        assert nes.newly_enabled(frozenset()) == frozenset({event})
+        assert nes.newly_enabled(frozenset({event})) == frozenset()
+
+
+class TestLocality:
+    def test_program_p1_not_locally_determined(self):
+        """Section 2's P1: incompatible events at *different* switches."""
+        e1, e2 = ev("src", 1, 2, 1), ev("src", 1, 4, 1)
+        es_states = [(0,), (1,), (2,)]
+        ets = make_ets(
+            (0,),
+            distinct_policies(es_states),
+            [EventEdge((0,), e1, (1,)), EventEdge((0,), e2, (2,))],
+        )
+        nes = nes_of_ets(ets)
+        assert not is_locally_determined(nes)
+        (violation,) = locality_violations(nes)
+        assert violation == frozenset({e1, e2})
+
+    def test_program_p2_locally_determined(self):
+        """Section 2's P2: incompatible events at the *same* switch."""
+        e1, e2 = ev("src", 1, 2, 1), ev("src", 3, 2, 1)
+        es_states = [(0,), (1,), (2,)]
+        ets = make_ets(
+            (0,),
+            distinct_policies(es_states),
+            [EventEdge((0,), e1, (1,)), EventEdge((0,), e2, (2,))],
+        )
+        nes = nes_of_ets(ets)
+        assert is_locally_determined(nes)
+
+    def test_compatible_events_never_violate(self):
+        e1, e2 = ev("a", 1, 1, 1), ev("b", 1, 9, 1)
+        ets = make_ets(
+            (0,),
+            distinct_policies([(0,), (1,), (2,), (3,)]),
+            [
+                EventEdge((0,), e1, (1,)),
+                EventEdge((0,), e2, (2,)),
+                EventEdge((1,), e2, (3,)),
+                EventEdge((2,), e1, (3,)),
+            ],
+        )
+        nes = nes_of_ets(ets)
+        assert is_locally_determined(nes)
+        assert minimally_inconsistent_sets(nes.structure) == frozenset()
+
+    def test_minimally_inconsistent_excludes_supersets(self):
+        e1, e2, e3 = ev("a", 1, 1, 1), ev("b", 1, 1, 1), ev("c", 1, 1, 1)
+        ets = make_ets(
+            (0,),
+            distinct_policies([(0,), (1,), (2,), (3,)]),
+            [
+                EventEdge((0,), e1, (1,)),
+                EventEdge((0,), e2, (2,)),
+                EventEdge((0,), e3, (3,)),
+            ],
+        )
+        nes = nes_of_ets(ets)
+        minimal = minimally_inconsistent_sets(nes.structure)
+        # all pairs are minimally inconsistent; the triple is not minimal
+        assert frozenset({e1, e2}) in minimal
+        assert frozenset({e1, e2, e3}) not in minimal

@@ -1,0 +1,106 @@
+"""Tests for the multi-host learning switch: the diamond NES."""
+
+import pytest
+
+from repro.apps import learning_multi_app
+from repro.consistency.checker import NESChecker
+from repro.events.locality import is_locally_determined
+from repro.verify import explore_all_interleavings
+
+H1, H2, H4 = 1, 2, 4
+
+
+@pytest.fixture(scope="module")
+def app():
+    return learning_multi_app()
+
+
+class TestDiamondNES:
+    def test_four_states(self, app):
+        assert set(app.ets.states()) == {(0, 0), (1, 0), (0, 1), (1, 1)}
+
+    def test_two_independent_events(self, app):
+        assert len(app.nes.events) == 2
+
+    def test_full_diamond_of_event_sets(self, app):
+        sizes = sorted(len(s) for s in app.nes.event_sets())
+        assert sizes == [0, 1, 1, 2]
+
+    def test_both_orders_allowed(self, app):
+        e1, e2 = sorted(app.nes.events, key=repr)
+        assert app.nes.allows_sequence([e1, e2])
+        assert app.nes.allows_sequence([e2, e1])
+
+    def test_lub_maps_to_joint_state(self, app):
+        full = frozenset(app.nes.events)
+        assert app.nes.state_of(full) == (1, 1)
+
+    def test_locally_determined(self, app):
+        assert is_locally_determined(app.nes)
+
+
+class TestBehavior:
+    def deliveries_by_host(self, rt):
+        out = {}
+        for loc, _ in rt.state.delivered:
+            name = rt.compiled.topology.host_at(loc).name
+            out[name] = out.get(name, 0) + 1
+        return out
+
+    def test_flooding_both_directions_initially(self, app):
+        rt = app.runtime()
+        rt.inject("H4", {"ip_dst": H1, "ip_src": H4})
+        rt.run_until_quiescent()
+        assert self.deliveries_by_host(rt) == {"H1": 1, "H2": 1}
+
+    def test_learning_h1_stops_h1_flooding_only(self, app):
+        rt = app.runtime()
+        rt.inject("H1", {"ip_dst": H4, "ip_src": H1})  # learn H1
+        rt.run_until_quiescent()
+        rt.inject("H4", {"ip_dst": H1, "ip_src": H4})  # no more flooding
+        rt.run_until_quiescent()
+        rt.inject("H4", {"ip_dst": H2, "ip_src": H4})  # H2 still floods
+        rt.run_until_quiescent()
+        counts = self.deliveries_by_host(rt)
+        assert counts["H4"] == 1       # H1's reply
+        assert counts["H2"] == 1       # direct copy of the H2 request
+        assert counts["H1"] == 2       # direct H1 request + flooded H2 copy
+
+    def test_learning_both_ends_all_flooding(self, app):
+        rt = app.runtime()
+        rt.inject("H1", {"ip_dst": H4, "ip_src": H1})
+        rt.run_until_quiescent()
+        rt.inject("H2", {"ip_dst": H4, "ip_src": H2})
+        rt.run_until_quiescent()
+        before = len(rt.state.delivered)
+        rt.inject("H4", {"ip_dst": H1, "ip_src": H4})
+        rt.inject("H4", {"ip_dst": H2, "ip_src": H4})
+        rt.run_until_quiescent()
+        new = rt.state.delivered[before:]
+        names = sorted(rt.compiled.topology.host_at(loc).name for loc, _ in new)
+        assert names == ["H1", "H2"]  # exactly one copy each
+
+
+class TestTheorem1Diamond:
+    @pytest.mark.parametrize("seed", [0, 3, 11, 29])
+    def test_racing_learn_events_stay_correct(self, app, seed):
+        """Both learning events race; every interleaving's trace must
+        satisfy Definition 6 (the diamond makes any order acceptable)."""
+        rt = app.runtime(seed=seed)
+        rt.inject("H1", {"ip_dst": H4, "ip_src": H1, "ident": 1})
+        rt.inject("H2", {"ip_dst": H4, "ip_src": H2, "ident": 2})
+        rt.inject("H4", {"ip_dst": H1, "ip_src": H4, "ident": 3})
+        rt.run_until_quiescent()
+        report = NESChecker(app.nes, app.topology).check(rt.network_trace())
+        assert report, report.reason
+
+    def test_exhaustive_two_event_race(self, app):
+        result = explore_all_interleavings(
+            app,
+            [
+                ("H1", {"ip_dst": H4, "ip_src": H1, "ident": 1}),
+                ("H2", {"ip_dst": H4, "ip_src": H2, "ident": 2}),
+            ],
+        )
+        assert result.all_correct
+        assert result.states_visited > 10

@@ -1,0 +1,78 @@
+"""Tests for the measurement utilities."""
+
+import math
+
+import pytest
+
+from repro.apps import firewall_app
+from repro.network import (
+    CorrectLogic,
+    SimNetwork,
+    deliveries_per_second,
+    install_ping_responders,
+    latency_summary,
+    loss_rate,
+    ping_outcomes,
+    send_ping,
+    success_timeline,
+)
+from repro.network.traffic import PingOutcome
+
+
+def run_pings(schedule):
+    app = firewall_app()
+    net = SimNetwork(app.topology, CorrectLogic(app.compiled), seed=0)
+    install_ping_responders(net)
+    pings = []
+    for ident, (src, dst, at) in enumerate(schedule, start=1):
+        send_ping(net, src, dst, ident, at)
+        pings.append((src, dst, ident, at))
+    net.run(until=20.0)
+    return net, ping_outcomes(net, pings)
+
+
+class TestDeliveriesPerSecond:
+    def test_bucketing(self):
+        net, _ = run_pings([("H1", "H4", 0.5), ("H1", "H4", 1.5)])
+        buckets = deliveries_per_second(net, host="H4", flow_prefix=("ping",))
+        assert buckets == {0: 1, 1: 1}
+
+    def test_host_filter(self):
+        net, _ = run_pings([("H1", "H4", 0.5)])
+        assert deliveries_per_second(net, host="H2") == {}
+
+
+class TestLossRate:
+    def test_no_outcomes(self):
+        assert loss_rate([]) == 0.0
+
+    def test_mixed(self):
+        # H4->H1 before any event is dropped; H1->H4 succeeds.
+        net, outcomes = run_pings([("H4", "H1", 0.5), ("H1", "H4", 1.0)])
+        assert loss_rate(outcomes) == 0.5
+
+
+class TestLatencySummary:
+    def test_empty(self):
+        summary = latency_summary([])
+        assert summary.count == 0 and math.isnan(summary.median)
+
+    def test_ordered_stats(self):
+        _, outcomes = run_pings(
+            [("H1", "H4", 0.5), ("H1", "H4", 1.0), ("H1", "H4", 1.5)]
+        )
+        summary = latency_summary(outcomes)
+        assert summary.count == 3
+        assert summary.minimum <= summary.median <= summary.maximum
+        assert summary.minimum > 0
+
+    def test_failed_pings_excluded(self):
+        _, outcomes = run_pings([("H4", "H1", 0.5), ("H1", "H4", 1.0)])
+        assert latency_summary(outcomes).count == 1
+
+
+class TestSuccessTimeline:
+    def test_sorted_by_send_time(self):
+        _, outcomes = run_pings([("H1", "H4", 1.0), ("H4", "H1", 0.5)])
+        timeline = success_timeline(outcomes)
+        assert timeline == [(0.5, False), (1.0, True)]

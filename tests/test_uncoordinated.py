@@ -1,0 +1,155 @@
+"""Tests for the uncoordinated baseline: it must exhibit exactly the
+anomalies the paper demonstrates (Figures 10-15), and converge to the
+correct configuration eventually."""
+
+import pytest
+
+from repro.apps import bandwidth_cap_app, firewall_app, learning_switch_app
+from repro.baselines import UncoordinatedLogic
+from repro.network import (
+    CorrectLogic,
+    SimNetwork,
+    install_ping_responders,
+    ping_outcomes,
+    send_ping,
+)
+
+H1, H4 = 1, 4
+
+
+def firewall_scenario(logic, n_pings=8, interval=0.4, start=1.0, seed=7):
+    """H1 pings H4 repeatedly; success requires H4's replies to pass."""
+    app = firewall_app()
+    net = SimNetwork(app.topology, logic, seed=seed)
+    install_ping_responders(net)
+    pings = []
+    for i in range(n_pings):
+        at = start + i * interval
+        send_ping(net, "H1", "H4", i + 1, at)
+        pings.append(("H1", "H4", i + 1, at))
+    net.run(until=start + n_pings * interval + 10.0)
+    return ping_outcomes(net, pings)
+
+
+class TestFirewallAnomaly:
+    def test_correct_drops_nothing(self):
+        app = firewall_app()
+        outcomes = firewall_scenario(CorrectLogic(app.compiled))
+        assert all(o.succeeded for o in outcomes)
+
+    @pytest.mark.parametrize("delay", [0.0, 0.5, 2.0])
+    def test_uncoordinated_always_drops_some(self, delay):
+        """Figure 10: even at zero delay at least one reply is lost."""
+        app = firewall_app()
+        outcomes = firewall_scenario(
+            UncoordinatedLogic(app.compiled, update_delay=delay)
+        )
+        dropped = sum(1 for o in outcomes if not o.succeeded)
+        assert dropped >= 1
+
+    def test_drops_grow_with_delay(self):
+        app = firewall_app()
+
+        def drops(delay):
+            outcomes = firewall_scenario(
+                UncoordinatedLogic(app.compiled, update_delay=delay)
+            )
+            return sum(1 for o in outcomes if not o.succeeded)
+
+        assert drops(0.1) <= drops(2.5)
+
+    def test_uncoordinated_converges_eventually(self):
+        app = firewall_app()
+        outcomes = firewall_scenario(
+            UncoordinatedLogic(app.compiled, update_delay=0.5), n_pings=10
+        )
+        assert outcomes[-1].succeeded  # late pings succeed after the push
+
+
+class TestLearningAnomaly:
+    def run_scenario(self, logic, seed=5):
+        """H4 pings H1 repeatedly; count deliveries to the bystander H2."""
+        app = learning_switch_app()
+        net = SimNetwork(app.topology, logic, seed=seed)
+        install_ping_responders(net)
+        for i in range(8):
+            send_ping(net, "H4", "H1", i + 1, 0.5 + i * 0.4)
+        net.run(until=15.0)
+        return sum(
+            1
+            for d in net.deliveries
+            if d.host == "H2" and d.frame.flow[:1] == ("ping",)
+        )
+
+    def test_correct_floods_once(self):
+        """Figure 12(a): only the first request is flooded to H2."""
+        app = learning_switch_app()
+        assert self.run_scenario(CorrectLogic(app.compiled)) == 1
+
+    def test_uncoordinated_keeps_flooding(self):
+        """Figure 12(b): flooding continues during the update window."""
+        app = learning_switch_app()
+        floods = self.run_scenario(
+            UncoordinatedLogic(app.compiled, update_delay=2.0)
+        )
+        assert floods > 1
+
+
+class TestBandwidthCapAnomaly:
+    def run_scenario(self, logic, cap):
+        app = bandwidth_cap_app(cap)
+        net = SimNetwork(app.topology, logic, seed=3)
+        install_ping_responders(net)
+        pings = []
+        for i in range(cap + 12):
+            at = 0.5 + i * 0.5
+            send_ping(net, "H1", "H4", i + 1, at)
+            pings.append(("H1", "H4", i + 1, at))
+        net.run(until=40.0)
+        return sum(1 for o in ping_outcomes(net, pings) if o.succeeded)
+
+    def test_correct_enforces_cap_exactly(self):
+        app = bandwidth_cap_app(10)
+        assert self.run_scenario(CorrectLogic(app.compiled), 10) == 10
+
+    def test_uncoordinated_overshoots(self):
+        """Figure 14(b): the paper measured 15 successes against cap 10."""
+        app = bandwidth_cap_app(10)
+        successes = self.run_scenario(
+            UncoordinatedLogic(app.compiled, update_delay=2.0), 10
+        )
+        assert successes > 10
+
+    def test_overshoot_shrinks_with_delay(self):
+        app = bandwidth_cap_app(5)
+        fast = self.run_scenario(
+            UncoordinatedLogic(app.compiled, update_delay=0.1), 5
+        )
+        slow = self.run_scenario(
+            UncoordinatedLogic(app.compiled, update_delay=3.0), 5
+        )
+        assert fast <= slow
+
+
+class TestControllerStateMachine:
+    def test_ignores_unexpected_events(self):
+        """Notifications that do not extend the controller's event-set are
+        dropped (e.g. repeat occurrences past the end of a chain)."""
+        app = firewall_app()
+        logic = UncoordinatedLogic(app.compiled, update_delay=0.1)
+        net = SimNetwork(app.topology, logic, seed=0)
+        install_ping_responders(net)
+        for i in range(4):
+            send_ping(net, "H1", "H4", i + 1, 0.2 + 0.3 * i)
+        net.run(until=10.0)
+        assert len(logic.controller_events) == 1  # the single firewall event
+
+    def test_update_completion_recorded(self):
+        app = firewall_app()
+        logic = UncoordinatedLogic(app.compiled, update_delay=0.2)
+        net = SimNetwork(app.topology, logic, seed=0)
+        install_ping_responders(net)
+        send_ping(net, "H1", "H4", 1, 0.1)
+        net.run(until=10.0)
+        assert logic.update_completed_at is not None
+        assert logic.update_completed_at >= 0.3  # notify + delay
