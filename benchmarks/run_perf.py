@@ -1,0 +1,157 @@
+"""Compiler-perf tracker: times the hot-path suite, writes a JSON record.
+
+Usage::
+
+    PYTHONPATH=src python -m benchmarks.run_perf [--quick] [--out PATH]
+
+Runs each benchmark ``rounds`` times (3 with ``--quick``, 7 otherwise),
+records the per-bench median wall-clock seconds, and writes
+``BENCH_compiler_perf.json`` at the repository root.  The file is
+checked in so the perf trajectory is visible PR over PR; re-run this
+after touching the compiler, the FDD algebra, or the event-structure
+engine, and commit the refreshed numbers.
+
+The benches mirror ``bench_compiler_perf.py`` (FDD construction/union,
+full app compile, NES conversion, trace checking, trie heuristic) plus
+the scaling cases from ``bench_scale_events.py`` (deep bandwidth-cap
+chains, wide multi-switch locality) that the bitset engine unlocked.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import statistics
+import time
+from pathlib import Path
+from typing import Callable, Dict, List, Tuple
+
+from repro.apps import bandwidth_cap_app, firewall_app, ids_app
+from repro.consistency.checker import NESChecker
+from repro.events.ets_to_nes import nes_of_ets
+from repro.events.locality import (
+    is_locally_determined,
+    minimally_inconsistent_sets,
+)
+from repro.netkat.fdd import FDDBuilder
+from repro.optimize.trie import build_trie, heuristic_order, trie_rule_count
+
+from .bench_compiler_perf import random_link_free_policy
+from .bench_scale_events import wide_structure
+
+
+def _bench_fdd_compile() -> None:
+    policy = random_link_free_policy(seed=7)
+    FDDBuilder().of_policy(policy)
+
+
+def _bench_fdd_union() -> None:
+    p = random_link_free_policy(seed=1, branches=16)
+    q = random_link_free_policy(seed=2, branches=16)
+    b = FDDBuilder()
+    b.union(b.of_policy(p), b.of_policy(q))
+
+
+def _bench_full_app_compile_ids() -> None:
+    ids_app().compiled.total_rule_count()
+
+
+def _bench_cap_chain_nes_conversion() -> None:
+    nes_of_ets(bandwidth_cap_app(20).ets)
+
+
+def _bench_cap20_full_compile() -> None:
+    bandwidth_cap_app(20).compiled.total_rule_count()
+
+
+def _bench_cap24_full_compile() -> None:
+    bandwidth_cap_app(24).compiled.total_rule_count()
+
+
+def _bench_wide_locality() -> None:
+    nes = wide_structure(8, 2)
+    minimally_inconsistent_sets(nes.structure)
+    is_locally_determined(nes)
+
+
+def _bench_trace_checker() -> None:
+    app = firewall_app()
+    rt = app.runtime(seed=0)
+    for i in range(6):
+        rt.inject("H1", {"ip_dst": 4, "ip_src": 1, "ident": i})
+        rt.run_until_quiescent()
+        rt.inject("H4", {"ip_dst": 1, "ip_src": 4, "ident": 100 + i})
+        rt.run_until_quiescent()
+    trace = rt.network_trace()
+    NESChecker(app.nes, app.topology).check(trace)
+
+
+def _bench_trie_heuristic() -> None:
+    import random
+
+    rng = random.Random(3)
+    pool = [f"r{i}" for i in range(20)]
+    configs = [
+        frozenset(r for r in pool if rng.random() < 0.3) for _ in range(64)
+    ]
+    trie_rule_count(build_trie(heuristic_order(configs)))
+
+
+BENCHES: Tuple[Tuple[str, Callable[[], None]], ...] = (
+    ("fdd_compile", _bench_fdd_compile),
+    ("fdd_union", _bench_fdd_union),
+    ("full_app_compile_ids", _bench_full_app_compile_ids),
+    ("cap_chain_nes_conversion_20", _bench_cap_chain_nes_conversion),
+    ("cap20_full_compile", _bench_cap20_full_compile),
+    ("cap24_full_compile", _bench_cap24_full_compile),
+    ("wide_locality_8x2", _bench_wide_locality),
+    ("trace_checker_firewall", _bench_trace_checker),
+    ("trie_heuristic_64x20", _bench_trie_heuristic),
+)
+
+
+def run(rounds: int) -> Dict[str, Dict[str, float]]:
+    results: Dict[str, Dict[str, float]] = {}
+    for name, fn in BENCHES:
+        fn()  # warm-up round (imports, module-level caches)
+        times: List[float] = []
+        for _ in range(rounds):
+            start = time.perf_counter()
+            fn()
+            times.append(time.perf_counter() - start)
+        results[name] = {
+            "median_s": round(statistics.median(times), 6),
+            "min_s": round(min(times), 6),
+            "rounds": rounds,
+        }
+        print(f"{name:32s} median {results[name]['median_s']:.6f}s")
+    return results
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="3 rounds per bench instead of 7"
+    )
+    parser.add_argument(
+        "--out",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_compiler_perf.json"),
+        help="output JSON path (default: repo root)",
+    )
+    args = parser.parse_args()
+    rounds = 3 if args.quick else 7
+    results = run(rounds)
+    payload = {
+        "suite": "compiler_perf",
+        "python": platform.python_version(),
+        "rounds": rounds,
+        "benches": results,
+    }
+    Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

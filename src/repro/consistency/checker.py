@@ -105,28 +105,29 @@ class NESChecker:
         occurrence, so sequences are built from those (hugely pruning
         the search).
         """
+        structure = self.nes.structure
         matched = [
-            event
+            (event, 1 << structure.event_index[event])
             for event in sorted(self.nes.events, key=repr)
             if any(event.matches(lp) for lp in trace.packets)
         ]
         sequences: List[Tuple[Event, ...]] = []
 
-        def extend(prefix: Tuple[Event, ...], collected: FrozenSet[Event]) -> None:
+        def extend(prefix: Tuple[Event, ...], collected: int) -> None:
             if len(prefix) > 0:
                 sequences.append(prefix)
             if len(prefix) >= self.max_sequence_length:
                 return
-            for event in matched:
-                if event in collected:
+            for event, bit in matched:
+                if collected & bit:
                     continue
-                if not self.nes.enables(collected, event):
+                if not structure.enables_mask(collected, bit.bit_length() - 1):
                     continue
-                if not self.nes.con(collected | {event}):
+                if not structure.con_mask(collected | bit):
                     continue
-                extend(prefix + (event,), collected | {event})
+                extend(prefix + (event,), collected | bit)
 
-        extend((), frozenset())
+        extend((), 0)
         return sequences
 
     def _update_of_sequence(self, sequence: Tuple[Event, ...]) -> EventDrivenUpdate:

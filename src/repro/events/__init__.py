@@ -12,7 +12,9 @@ from .ets_to_nes import (
 from .locality import (
     is_locally_determined,
     locality_violations,
+    minimally_inconsistent_masks,
     minimally_inconsistent_sets,
+    minimally_inconsistent_sets_naive,
 )
 from .nes import NES
 from .structure import EventStructure
@@ -29,6 +31,8 @@ __all__ = [
     "UniqueConfigurationError",
     "FiniteCompletenessError",
     "minimally_inconsistent_sets",
+    "minimally_inconsistent_sets_naive",
+    "minimally_inconsistent_masks",
     "locality_violations",
     "is_locally_determined",
 ]

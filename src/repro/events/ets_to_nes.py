@@ -105,18 +105,41 @@ def check_finite_complete(family: Dict[EventSet, StateVector]) -> List[Tuple[Eve
 
     Pairwise closure implies n-ary closure: if ``E1..En`` share an upper
     bound, so do ``E1 union E2`` and ``E3``, and so on inductively.
+
+    Family members are encoded as bitmasks so the quadratic pair scan is
+    pure integer arithmetic, and upper bounds are only sought among the
+    *maximal* members (any upper bound in the family lies below one).
     """
     sets = sorted(family, key=lambda s: (len(s), sorted(repr(e) for e in s)))
+    index: Dict[Event, int] = {}
+    for member in sets:
+        for event in member:
+            index.setdefault(event, len(index))
+    masks = [
+        _mask_of(member, index) for member in sets
+    ]
+    mask_family = set(masks)
+    maximal = [
+        m
+        for m in mask_family
+        if not any(m != other and m | other == other for other in mask_family)
+    ]
     violations: List[Tuple[EventSet, EventSet]] = []
-    for i, e1 in enumerate(sets):
-        for e2 in sets[i + 1 :]:
-            lub = e1 | e2
-            if lub in family:
+    for i, m1 in enumerate(masks):
+        for j in range(i + 1, len(masks)):
+            lub = m1 | masks[j]
+            if lub in mask_family:
                 continue
-            has_upper_bound = any(lub <= other for other in sets)
-            if has_upper_bound:
-                violations.append((e1, e2))
+            if any(lub | upper == upper for upper in maximal):
+                violations.append((sets[i], sets[j]))
     return violations
+
+
+def _mask_of(member: EventSet, index: Dict[Event, int]) -> int:
+    mask = 0
+    for event in member:
+        mask |= 1 << index[event]
+    return mask
 
 
 def nes_of_ets(ets: "ETS", max_occurrences: int = 64) -> NES:

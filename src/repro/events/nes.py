@@ -88,15 +88,23 @@ class NES:
         self, known: Iterable[Event], candidates: Optional[Iterable[Event]] = None
     ) -> FrozenSet[Event]:
         """Events enabled and consistent on top of ``known`` (SWITCH rule)."""
-        known_set = frozenset(known)
-        pool = self.events if candidates is None else frozenset(candidates)
-        return frozenset(
-            e
-            for e in pool
-            if e not in known_set
-            and self.structure.enables(known_set, e)
-            and self.structure.con(known_set | {e})
-        )
+        structure = self.structure
+        index = structure.event_index
+        known_mask = 0
+        for e in known:
+            i = index.get(e)
+            if i is None:
+                return frozenset()  # unknown events make every con() false
+            known_mask |= 1 << i
+        free = structure.successors_mask(known_mask)
+        if candidates is not None:
+            pool = 0
+            for e in candidates:
+                i = index.get(e)
+                if i is not None:  # unknown candidates are never enabled
+                    pool |= 1 << i
+            free &= pool
+        return structure.decode(free)
 
     def __repr__(self) -> str:
         return (

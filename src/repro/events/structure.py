@@ -11,11 +11,19 @@ represented by a family of *covers* -- ``X`` is consistent iff it is a
 subset of some cover -- which is automatically downward closed.
 Enabling is represented by base pairs ``(X0, e)`` -- ``X ⊢ e`` iff some
 ``X0 ⊆ X`` is a base -- which is automatically upward closed.
+
+Internally events are interned to integer indices (in deterministic
+``repr`` order) and every event set -- covers, enabling bases, the
+arguments of ``con``/``enables``, the frontier of the event-set search
+-- is a Python int bitmask.  Subset tests, unions, and intersections are
+single machine-word-ish operations instead of frozenset scans, which is
+what lets the locality pipeline (:mod:`repro.events.locality`) scale.
+The public API still speaks frozensets; ``encode``/``decode`` translate
+at the boundary.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import (
     AbstractSet,
     Dict,
@@ -25,6 +33,7 @@ from typing import (
     Iterable,
     Iterator,
     List,
+    Mapping,
     Optional,
     Sequence,
     Set,
@@ -47,13 +56,30 @@ class EventStructure(Generic[E]):
         enabling_base: Iterable[Tuple[AbstractSet[E], E]],
     ):
         self._events: FrozenSet[E] = frozenset(events)
+        # Intern events in deterministic (repr) order; bit i of every mask
+        # in this structure stands for self._universe[i].
+        self._universe: Tuple[E, ...] = tuple(sorted(self._events, key=repr))
+        self._index: Dict[E, int] = {e: i for i, e in enumerate(self._universe)}
+        self._all_mask: int = (1 << len(self._universe)) - 1
+
         self._covers: FrozenSet[FrozenSet[E]] = frozenset(
             frozenset(c) for c in consistency_covers
         )
+        cover_masks: Set[int] = set()
         for cover in self._covers:
             if not cover <= self._events:
                 raise ValueError(f"cover {set(cover)} mentions unknown events")
-        base: Dict[E, Set[FrozenSet[E]]] = {}
+            cover_masks.add(self.encode(cover))
+        # Only maximal covers matter for ``X ⊆ some cover`` queries.
+        self._maximal_cover_masks: Tuple[int, ...] = tuple(
+            sorted(
+                m
+                for m in cover_masks
+                if not any(m != other and m | other == other for other in cover_masks)
+            )
+        )
+
+        base: Dict[int, Set[int]] = {}
         for enabler, event in enabling_base:
             enabler_set = frozenset(enabler)
             if event not in self._events:
@@ -62,16 +88,77 @@ class EventStructure(Generic[E]):
                 raise ValueError(
                     f"enabling base {set(enabler_set)} mentions unknown events"
                 )
-            base.setdefault(event, set()).add(enabler_set)
+            base.setdefault(self._index[event], set()).add(self.encode(enabler_set))
         # Keep only minimal enablers: supersets are implied by monotonicity.
-        self._base: Dict[E, Tuple[FrozenSet[E], ...]] = {}
-        for event, enablers in base.items():
-            minimal = [
-                x
-                for x in enablers
-                if not any(y < x for y in enablers)
-            ]
-            self._base[event] = tuple(sorted(minimal, key=sorted_key))
+        self._base_masks: Dict[int, Tuple[int, ...]] = {}
+        for event_index, enabler_masks in base.items():
+            self._base_masks[event_index] = tuple(
+                sorted(
+                    x
+                    for x in enabler_masks
+                    if not any(y != x and y | x == x for y in enabler_masks)
+                )
+            )
+        self._base: Dict[E, Tuple[FrozenSet[E], ...]] = {
+            self._universe[i]: tuple(
+                sorted((self.decode(m) for m in masks), key=sorted_key)
+            )
+            for i, masks in self._base_masks.items()
+        }
+        # Memo for the locality pipeline (populated lazily by
+        # repro.events.locality.minimally_inconsistent_masks).
+        self._transversal_cache: Dict[Optional[int], Tuple[int, ...]] = {}
+
+    # -- bitmask encoding ------------------------------------------------------
+
+    @property
+    def universe(self) -> Tuple[E, ...]:
+        """Events in interning order: bit ``i`` encodes ``universe[i]``."""
+        return self._universe
+
+    @property
+    def event_index(self) -> Mapping[E, int]:
+        """The interning map (event -> bit position)."""
+        return self._index
+
+    @property
+    def all_mask(self) -> int:
+        """The bitmask of the full event set."""
+        return self._all_mask
+
+    @property
+    def maximal_cover_masks(self) -> Tuple[int, ...]:
+        """Encoded maximal covers; ``con(X)`` iff X ⊆ one of these."""
+        return self._maximal_cover_masks
+
+    def encode(self, subset: Iterable[E]) -> int:
+        """Event set -> bitmask.  Raises KeyError on unknown events."""
+        mask = 0
+        index = self._index
+        for event in subset:
+            mask |= 1 << index[event]
+        return mask
+
+    def _try_encode(self, subset: Iterable[E]) -> Optional[int]:
+        """Like :meth:`encode` but None when an unknown event appears."""
+        mask = 0
+        index = self._index
+        for event in subset:
+            i = index.get(event)
+            if i is None:
+                return None
+            mask |= 1 << i
+        return mask
+
+    def decode(self, mask: int) -> FrozenSet[E]:
+        """Bitmask -> event set."""
+        universe = self._universe
+        out = []
+        while mask:
+            low = mask & -mask
+            out.append(universe[low.bit_length() - 1])
+            mask ^= low
+        return frozenset(out)
 
     # -- primitive relations ---------------------------------------------------
 
@@ -85,38 +172,74 @@ class EventStructure(Generic[E]):
 
     def con(self, subset: AbstractSet[E]) -> bool:
         """The consistency predicate (downward closed by construction)."""
-        needle = frozenset(subset)
-        if not needle:
+        mask = self._try_encode(subset)
+        if mask is None:
+            return False  # unknown events belong to no cover
+        return self.con_mask(mask)
+
+    def con_mask(self, mask: int) -> bool:
+        """``con`` on an encoded event set."""
+        if not mask:
             return True
-        return any(needle <= cover for cover in self._covers)
+        for cover in self._maximal_cover_masks:
+            if mask | cover == cover:
+                return True
+        return False
 
     def enables(self, enabler: AbstractSet[E], event: E) -> bool:
         """``enabler ⊢ event`` (upward closed by construction)."""
-        enabler_set = frozenset(enabler)
-        return any(base <= enabler_set for base in self._base.get(event, ()))
+        index = self._index.get(event)
+        if index is None:
+            return False
+        mask = 0
+        for e in enabler:
+            i = self._index.get(e)
+            if i is not None:  # unknown enabler events cannot shrink ⊢
+                mask |= 1 << i
+        return self.enables_mask(mask, index)
+
+    def enables_mask(self, enabler_mask: int, event_index: int) -> bool:
+        """``⊢`` on an encoded enabler and an interned event index."""
+        for base in self._base_masks.get(event_index, ()):
+            if base & enabler_mask == base:
+                return True
+        return False
 
     def minimal_enablers(self, event: E) -> Tuple[FrozenSet[E], ...]:
         return self._base.get(event, ())
 
     # -- derived notions -----------------------------------------------------
 
+    def successors_mask(self, mask: int) -> int:
+        """Bitmask of events that extend the encoded set to a larger one."""
+        out = 0
+        for index in range(len(self._universe)):
+            bit = 1 << index
+            if mask & bit:
+                continue
+            if self.enables_mask(mask, index) and self.con_mask(mask | bit):
+                out |= bit
+        return out
+
     def successors(self, event_set: AbstractSet[E]) -> Iterator[E]:
         """Events that can extend ``event_set`` to a larger event-set."""
-        current = frozenset(event_set)
-        for event in self._events:
-            if event in current:
-                continue
-            if self.enables(current, event) and self.con(current | {event}):
-                yield event
+        mask = self._try_encode(event_set)
+        if mask is None:
+            # Unknown events never help con(), so nothing extends the set.
+            return iter(())
+        return iter(self.decode(self.successors_mask(mask)))
 
-    def event_sets(self, limit: int = 100_000) -> FrozenSet[FrozenSet[E]]:
-        """All event-sets (Definition 4): consistent and secured from ∅."""
-        found: Set[FrozenSet[E]] = {frozenset()}
-        frontier: List[FrozenSet[E]] = [frozenset()]
+    def event_sets_masks(self, limit: int = 100_000) -> FrozenSet[int]:
+        """All event-sets as bitmasks (Definition 4)."""
+        found: Set[int] = {0}
+        frontier: List[int] = [0]
         while frontier:
             current = frontier.pop()
-            for event in self.successors(current):
-                extended = current | {event}
+            free = self.successors_mask(current)
+            while free:
+                low = free & -free
+                free ^= low
+                extended = current | low
                 if extended not in found:
                     if len(found) >= limit:
                         raise RuntimeError(
@@ -126,54 +249,74 @@ class EventStructure(Generic[E]):
                     frontier.append(extended)
         return frozenset(found)
 
-    def is_event_set(self, subset: AbstractSet[E]) -> bool:
-        """Is ``subset`` consistent and reachable via the enabling relation?"""
-        target = frozenset(subset)
-        if not self.con(target):
+    def event_sets(self, limit: int = 100_000) -> FrozenSet[FrozenSet[E]]:
+        """All event-sets (Definition 4): consistent and secured from ∅."""
+        return frozenset(self.decode(m) for m in self.event_sets_masks(limit))
+
+    def is_event_set_mask(self, mask: int) -> bool:
+        """:meth:`is_event_set` on an encoded event set."""
+        if not self.con_mask(mask):
             return False
         # Greedy securing: repeatedly add any enabled member.  Greedy is
         # complete here because enabling is monotone (adding events never
         # disables a member).
-        secured: Set[E] = set()
-        remaining = set(target)
+        secured = 0
+        remaining = mask
         while remaining:
-            progress = [
-                e
-                for e in remaining
-                if self.enables(frozenset(secured), e)
-            ]
+            progress = 0
+            scan = remaining
+            while scan:
+                low = scan & -scan
+                scan ^= low
+                if self.enables_mask(secured, low.bit_length() - 1):
+                    progress |= low
             if not progress:
                 return False
-            secured.update(progress)
-            remaining.difference_update(progress)
+            secured |= progress
+            remaining &= ~progress
         return True
+
+    def is_event_set(self, subset: AbstractSet[E]) -> bool:
+        """Is ``subset`` consistent and reachable via the enabling relation?"""
+        mask = self._try_encode(subset)
+        if mask is None:
+            return False
+        return self.is_event_set_mask(mask)
 
     def allows_sequence(self, sequence: Sequence[E]) -> bool:
         """Is ``e0 e1 ... en`` allowed (section 2, "Correct Network Traces")?"""
-        prefix: Set[E] = set()
+        prefix = 0
         for event in sequence:
-            if event in prefix:
+            index = self._index.get(event)
+            if index is None:
+                return False
+            bit = 1 << index
+            if prefix & bit:
                 return False  # an event occurs at most once per execution
-            if not self.enables(frozenset(prefix), event):
+            if not self.enables_mask(prefix, index):
                 return False
-            if not self.con(prefix | {event}):
+            if not self.con_mask(prefix | bit):
                 return False
-            prefix.add(event)
+            prefix |= bit
         return True
 
     def allowed_sequences(
         self, max_length: Optional[int] = None
     ) -> Iterator[Tuple[E, ...]]:
         """Enumerate allowed event sequences (breadth-first, shortest first)."""
-        queue: List[Tuple[Tuple[E, ...], FrozenSet[E]]] = [((), frozenset())]
+        queue: List[Tuple[Tuple[E, ...], int]] = [((), 0)]
         while queue:
-            next_queue: List[Tuple[Tuple[E, ...], FrozenSet[E]]] = []
+            next_queue: List[Tuple[Tuple[E, ...], int]] = []
             for sequence, collected in queue:
                 yield sequence
                 if max_length is not None and len(sequence) >= max_length:
                     continue
-                for event in self.successors(collected):
-                    next_queue.append((sequence + (event,), collected | {event}))
+                free = self.successors_mask(collected)
+                while free:
+                    low = free & -free
+                    free ^= low
+                    event = self._universe[low.bit_length() - 1]
+                    next_queue.append((sequence + (event,), collected | low))
             queue = next_queue
 
     def __repr__(self) -> str:

@@ -288,16 +288,56 @@ def _prune_table(table: FlowTable) -> FlowTable:
     A drop rule is kept only when some lower-priority rule with actions
     overlaps its match (the drop shadows it); trailing drops merely
     restate the table's default.
+
+    Lower-priority action rules are indexed by their exact-match fields,
+    so each drop rule only examines the action rules that could possibly
+    overlap on its most selective field (instead of rescanning the whole
+    table suffix, which made pruning quadratic).
     """
     rules = list(table.rules)
+    action_positions: List[int] = [i for i, r in enumerate(rules) if r.actions]
+    # field -> value -> positions of action rules pinning field to value;
+    # field -> positions of action rules not constraining field (those
+    # overlap regardless of the drop rule's value).  All lists ascend.
+    by_field_value: Dict[Tuple[str, int], List[int]] = {}
+    field_positions: Dict[str, List[int]] = {}
+    for pos in action_positions:
+        for f, c in rules[pos].match.entries():
+            if isinstance(c, int):
+                by_field_value.setdefault((f, c), []).append(pos)
+                field_positions.setdefault(f, []).append(pos)
+
+    lacking_cache: Dict[str, List[int]] = {}
+
+    def lacking(f: str) -> List[int]:
+        cached = lacking_cache.get(f)
+        if cached is None:
+            with_field = set(field_positions.get(f, ()))
+            cached = [p for p in action_positions if p not in with_field]
+            lacking_cache[f] = cached
+        return cached
+
+    def candidates(rule: Rule) -> List[int]:
+        best: Optional[Tuple[str, int]] = None
+        best_count = None
+        for f, c in rule.match.entries():
+            if not isinstance(c, int):
+                continue
+            count = len(by_field_value.get((f, c), ())) + len(lacking(f))
+            if best_count is None or count < best_count:
+                best, best_count = (f, c), count
+        if best is None:
+            return action_positions
+        return by_field_value.get(best, []) + lacking(best[0])
+
     kept: List[Rule] = []
     for i, rule in enumerate(rules):
         if rule.actions:
             kept.append(rule)
             continue
         shadows = any(
-            later.actions and _matches_overlap(rule.match, later.match)
-            for later in rules[i + 1 :]
+            pos > i and _matches_overlap(rule.match, rules[pos].match)
+            for pos in candidates(rule)
         )
         if shadows:
             kept.append(rule)

@@ -174,6 +174,8 @@ class FDDBuilder:
         self._memo_union: Dict[Tuple[int, int], FDD] = {}
         self._memo_seq: Dict[Tuple[int, int], FDD] = {}
         self._memo_mask: Dict[Tuple[int, int], FDD] = {}
+        self._memo_seq_mod: Dict[Tuple[Mod, int], FDD] = {}
+        self._memo_negate: Dict[int, FDD] = {}
         self.drop = self.leaf(frozenset())
         self.id = self.leaf(frozenset((IDENTITY_MOD,)))
 
@@ -300,16 +302,27 @@ class FDDBuilder:
         Tests in ``d`` on fields assigned by ``mod`` are decided; leaf
         actions are composed after ``mod``.
         """
+        key = (mod, d._id)
+        cached = self._memo_seq_mod.get(key)
+        if cached is not None:
+            return cached
         if isinstance(d, Leaf):
-            return self.leaf(frozenset(mod_compose(mod, a) for a in d.actions))
-        assigned = mod_get(mod, d.field)
-        if assigned is not None:
-            if assigned == d.value:
-                return self.seq_mod(mod, d.hi)
-            return self.seq_mod(mod, d.lo)
-        hi = self.seq_mod(mod, d.hi)
-        lo = self.seq_mod(mod, d.lo)
-        return self._ite_test(d.field, d.value, hi, lo)
+            result: FDD = self.leaf(
+                frozenset(mod_compose(mod, a) for a in d.actions)
+            )
+        else:
+            assigned = mod_get(mod, d.field)
+            if assigned is not None:
+                if assigned == d.value:
+                    result = self.seq_mod(mod, d.hi)
+                else:
+                    result = self.seq_mod(mod, d.lo)
+            else:
+                hi = self.seq_mod(mod, d.hi)
+                lo = self.seq_mod(mod, d.lo)
+                result = self._ite_test(d.field, d.value, hi, lo)
+        self._memo_seq_mod[key] = result
+        return result
 
     def _ite_test(self, field: str, value: int, hi: FDD, lo: FDD) -> FDD:
         """Build "if field==value then hi else lo" re-establishing ordering.
@@ -370,15 +383,25 @@ class FDDBuilder:
 
     def negate(self, d: FDD) -> FDD:
         """Complement of a predicate FDD (id leaves <-> drop leaves)."""
+        memo = self._memo_negate
 
         def walk(node: FDD) -> FDD:
+            cached = memo.get(node._id)
+            if cached is not None:
+                return cached
             if isinstance(node, Leaf):
                 if node.actions == self.id.actions:
-                    return self.drop
-                if not node.actions:
-                    return self.id
-                raise ValueError("negate() applied to a non-predicate FDD")
-            return self.branch(node.field, node.value, walk(node.hi), walk(node.lo))
+                    result: FDD = self.drop
+                elif not node.actions:
+                    result = self.id
+                else:
+                    raise ValueError("negate() applied to a non-predicate FDD")
+            else:
+                result = self.branch(
+                    node.field, node.value, walk(node.hi), walk(node.lo)
+                )
+            memo[node._id] = result
+            return result
 
         return walk(d)
 

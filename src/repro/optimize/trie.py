@@ -173,31 +173,32 @@ def heuristic_order(configs: Sequence[FrozenSet[R]]) -> List[Optional[FrozenSet[
 
     nodes = [Partial(rules=c, leaves=[c]) for c in padded]
     while len(nodes) > 1:
+        # Pair sizes are static within a level, so compute each pair's
+        # intersection size exactly once and pick pairs greedily off the
+        # sorted list (largest size first, then smallest indices -- the
+        # same order the O(n^3) rescan produced).
+        n = len(nodes)
+        ranked: List[Tuple[int, int, int]] = []  # (-size, i, j)
+        for i in range(n):
+            for j in range(i + 1, n):
+                shared = _intersect(nodes[i].rules, nodes[j].rules)
+                size = len(shared) if shared is not None else _universal_len(
+                    nodes[i].rules, nodes[j].rules
+                )
+                ranked.append((-size, i, j))
+        ranked.sort()
+        used = [False] * n
         paired: List[Partial] = []
-        remaining = list(range(len(nodes)))
-        while remaining:
-            best: Optional[Tuple[int, int, int]] = None  # (size, i, j)
-            for a in range(len(remaining)):
-                for b in range(a + 1, len(remaining)):
-                    i, j = remaining[a], remaining[b]
-                    shared = _intersect(nodes[i].rules, nodes[j].rules)
-                    size = len(shared) if shared is not None else _universal_len(
-                        nodes[i].rules, nodes[j].rules
-                    )
-                    if best is None or size > best[0]:
-                        best = (size, a, b)
-            assert best is not None
-            _, a, b = best
-            i, j = remaining[a], remaining[b]
+        for _, i, j in ranked:
+            if used[i] or used[j]:
+                continue
+            used[i] = used[j] = True
             paired.append(
                 Partial(
                     rules=_intersect(nodes[i].rules, nodes[j].rules),
                     leaves=nodes[i].leaves + nodes[j].leaves,
                 )
             )
-            # Remove b first so a's position stays valid.
-            del remaining[b]
-            del remaining[a]
         nodes = paired
     return nodes[0].leaves
 

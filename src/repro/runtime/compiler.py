@@ -60,9 +60,9 @@ class CompiledNES:
         self.event_set_ids: Dict[EventSet, int] = {
             s: i for i, s in enumerate(self.event_sets)
         }
-        self.event_bits: Dict[Event, int] = {
-            e: i for i, e in enumerate(sorted(nes.events, key=repr))
-        }
+        # Digest bits reuse the event structure's interning (also sorted
+        # by repr), so digests and the locality engine agree bit-for-bit.
+        self.event_bits: Dict[Event, int] = dict(nes.structure.event_index)
 
         # Step 2: compile every configuration.
         self.configurations: Dict[StateVector, Configuration] = {
@@ -83,17 +83,10 @@ class CompiledNES:
 
     def encode_digest(self, events: Iterable[Event]) -> int:
         """Event-set as a bitmask -- the packet digest wire format."""
-        mask = 0
-        for event in events:
-            mask |= 1 << self.event_bits[event]
-        return mask
+        return self.nes.structure.encode(events)
 
     def decode_digest(self, mask: int) -> EventSet:
-        out = set()
-        for event, bit in self.event_bits.items():
-            if mask & (1 << bit):
-                out.add(event)
-        return frozenset(out)
+        return self.nes.structure.decode(mask)
 
     # -- configuration access ---------------------------------------------------
 
