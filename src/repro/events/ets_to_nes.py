@@ -35,6 +35,7 @@ __all__ = [
     "FiniteCompletenessError",
     "family_of_ets",
     "check_finite_complete",
+    "check_finite_complete_naive",
     "nes_of_ets",
 ]
 
@@ -66,6 +67,10 @@ def family_of_ets(
     family: Dict[EventSet, StateVector] = {frozenset(): ets.initial}
     visited: Set[Tuple[StateVector, EventSet]] = set()
     stack: List[Tuple[StateVector, EventSet]] = [(ets.initial, frozenset())]
+    # Intern renamed events: equal occurrences reached along different
+    # paths become the identical object, so the family's frozensets hash
+    # cached events and the NES interning can use identity lookups.
+    interned: Dict[Event, Event] = {}
     while stack:
         state, collected = stack.pop()
         if (state, collected) in visited:
@@ -73,13 +78,19 @@ def family_of_ets(
         visited.add((state, collected))
         for edge in ets.out_edges(state):
             base = edge.event.base()
-            occurrence = sum(1 for e in collected if e.base() == base)
+            base_guard, base_location = base.guard, base.location
+            occurrence = sum(
+                1
+                for e in collected
+                if e.location == base_location and e.guard == base_guard
+            )
             if occurrence >= max_occurrences:
                 raise ETSConversionError(
                     f"event {base!r} occurred more than {max_occurrences} "
                     "times along a path; is the ETS an unbounded loop?"
                 )
             renamed = base.renamed(occurrence)
+            renamed = interned.setdefault(renamed, renamed)
             extended = collected | {renamed}
             previous = family.get(extended)
             if previous is None:
@@ -100,24 +111,80 @@ def _same_configuration(ets: "ETS", s1: StateVector, s2: StateVector) -> bool:
     return ets.configuration(s1) == ets.configuration(s2)
 
 
-def check_finite_complete(family: Dict[EventSet, StateVector]) -> List[Tuple[EventSet, EventSet]]:
-    """Return the pairs violating finite completeness (empty = OK).
-
-    Pairwise closure implies n-ary closure: if ``E1..En`` share an upper
-    bound, so do ``E1 union E2`` and ``E3``, and so on inductively.
-
-    Family members are encoded as bitmasks so the quadratic pair scan is
-    pure integer arithmetic, and upper bounds are only sought among the
-    *maximal* members (any upper bound in the family lies below one).
-    """
+def _sorted_masks(
+    family: Dict[EventSet, StateVector]
+) -> Tuple[List[EventSet], List[int]]:
+    """Family members in canonical order, and their bitmask encodings."""
     sets = sorted(family, key=lambda s: (len(s), sorted(repr(e) for e in s)))
     index: Dict[Event, int] = {}
     for member in sets:
         for event in member:
             index.setdefault(event, len(index))
-    masks = [
-        _mask_of(member, index) for member in sets
-    ]
+    return sets, [_mask_of(member, index) for member in sets]
+
+
+def check_finite_complete(
+    family: Dict[EventSet, StateVector]
+) -> List[Tuple[EventSet, EventSet]]:
+    """Return the pairs violating finite completeness (empty = OK).
+
+    Pairwise closure implies n-ary closure: if ``E1..En`` share an upper
+    bound, so do ``E1 union E2`` and ``E3``, and so on inductively.
+
+    An LUB-closure check driven by the maximal antichain: two members
+    have an upper bound in the family iff both lie below one of its
+    maximal elements.  Members are grouped by *signature* -- the bitmask
+    of maximal elements above them -- and pairs are enumerated once per
+    pair of intersecting signature classes, so every pair with a common
+    upper bound is visited exactly once (never more pairs than the
+    global quadratic scan) and cross-block pairs in wide families --
+    disjoint signatures -- are never enumerated at all.
+    """
+    sets, masks = _sorted_masks(family)
+    mask_family = set(masks)
+    set_of_mask = dict(zip(masks, sets))
+    # Maximal antichain: scan by descending popcount; an element below a
+    # previously kept one is dominated, everything else is maximal.
+    maximal: List[int] = []
+    for m in sorted(mask_family, key=lambda m: -m.bit_count()):
+        if not any(m | big == big for big in maximal):
+            maximal.append(m)
+    # Signature classes, in the canonical member order.
+    classes: Dict[int, List[int]] = {}
+    for m in masks:
+        signature = 0
+        for t, big in enumerate(maximal):
+            if m | big == big:
+                signature |= 1 << t
+        classes.setdefault(signature, []).append(m)
+    violations: List[Tuple[EventSet, EventSet]] = []
+    class_list = list(classes.items())
+    for a, (sig_a, members_a) in enumerate(class_list):
+        for b in range(a, len(class_list)):
+            sig_b, members_b = class_list[b]
+            if not sig_a & sig_b:
+                continue  # no shared upper bound: no closure obligation
+            for i, m1 in enumerate(members_a):
+                others = members_a[i + 1 :] if b == a else members_b
+                for m2 in others:
+                    lub = m1 | m2
+                    # Comparable pairs have their lub in the family.
+                    if lub == m1 or lub == m2 or lub in mask_family:
+                        continue
+                    violations.append((set_of_mask[m1], set_of_mask[m2]))
+    return violations
+
+
+def check_finite_complete_naive(
+    family: Dict[EventSet, StateVector]
+) -> List[Tuple[EventSet, EventSet]]:
+    """The retained quadratic reference for :func:`check_finite_complete`.
+
+    Scans every pair of members globally and seeks an upper bound among
+    the maximal elements per missing lub.  Kept as the differential
+    oracle for the antichain-driven version.
+    """
+    sets, masks = _sorted_masks(family)
     mask_family = set(masks)
     maximal = [
         m

@@ -27,6 +27,17 @@ class Event:
     location: Location
     eid: int = 0
 
+    def __hash__(self) -> int:
+        # Events live in frozensets (event-sets, covers, enabling bases)
+        # and as dict keys throughout the pipeline; the generated
+        # dataclass hash re-hashes the guard tuple on every lookup.
+        try:
+            return self._hash
+        except AttributeError:
+            h = hash((self.guard, self.location, self.eid))
+            object.__setattr__(self, "_hash", h)
+            return h
+
     def matches(self, lp: LocatedPacket) -> bool:
         """``lp |= e``: same location, and the packet satisfies the guard.
 
@@ -49,8 +60,15 @@ class Event:
         return Event(self.guard, self.location, eid)
 
     def __repr__(self) -> str:
-        suffix = f"_{self.eid}" if self.eid else ""
-        return f"({self.guard!r}, {self.location}){suffix}"
+        # repr is the deterministic sort key for event interning and edge
+        # ordering, so it is on the NES-construction hot path.
+        try:
+            return self._repr
+        except AttributeError:
+            suffix = f"_{self.eid}" if self.eid else ""
+            r = f"({self.guard!r}, {self.location}){suffix}"
+            object.__setattr__(self, "_repr", r)
+            return r
 
 
 EventSet = FrozenSet[Event]

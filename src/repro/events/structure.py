@@ -60,6 +60,14 @@ class EventStructure(Generic[E]):
         # in this structure stands for self._universe[i].
         self._universe: Tuple[E, ...] = tuple(sorted(self._events, key=repr))
         self._index: Dict[E, int] = {e: i for i, e in enumerate(self._universe)}
+        # id()-keyed shadow of the interning map: most encode() calls pass
+        # the very objects interned in the universe, and an identity lookup
+        # skips (potentially deep) event hashing.  Safe because the
+        # universe tuple keeps those objects alive, so their ids are never
+        # reused while this structure exists.
+        self._index_by_id: Dict[int, int] = {
+            id(e): i for i, e in enumerate(self._universe)
+        }
         self._all_mask: int = (1 << len(self._universe)) - 1
 
         self._covers: FrozenSet[FrozenSet[E]] = frozenset(
@@ -67,9 +75,12 @@ class EventStructure(Generic[E]):
         )
         cover_masks: Set[int] = set()
         for cover in self._covers:
-            if not cover <= self._events:
-                raise ValueError(f"cover {set(cover)} mentions unknown events")
-            cover_masks.add(self.encode(cover))
+            try:
+                cover_masks.add(self.encode(cover))
+            except KeyError:
+                raise ValueError(
+                    f"cover {set(cover)} mentions unknown events"
+                ) from None
         # Only maximal covers matter for ``X ⊆ some cover`` queries.
         self._maximal_cover_masks: Tuple[int, ...] = tuple(
             sorted(
@@ -81,14 +92,16 @@ class EventStructure(Generic[E]):
 
         base: Dict[int, Set[int]] = {}
         for enabler, event in enabling_base:
-            enabler_set = frozenset(enabler)
-            if event not in self._events:
+            event_index = self._index.get(event)
+            if event_index is None:
                 raise ValueError(f"enabling base names unknown event {event!r}")
-            if not enabler_set <= self._events:
+            try:
+                enabler_mask = self.encode(enabler)
+            except KeyError:
                 raise ValueError(
-                    f"enabling base {set(enabler_set)} mentions unknown events"
-                )
-            base.setdefault(self._index[event], set()).add(self.encode(enabler_set))
+                    f"enabling base {set(enabler)} mentions unknown events"
+                ) from None
+            base.setdefault(event_index, set()).add(enabler_mask)
         # Keep only minimal enablers: supersets are implied by monotonicity.
         self._base_masks: Dict[int, Tuple[int, ...]] = {}
         for event_index, enabler_masks in base.items():
@@ -135,18 +148,25 @@ class EventStructure(Generic[E]):
         """Event set -> bitmask.  Raises KeyError on unknown events."""
         mask = 0
         index = self._index
+        by_id = self._index_by_id
         for event in subset:
-            mask |= 1 << index[event]
+            i = by_id.get(id(event))
+            if i is None:
+                i = index[event]
+            mask |= 1 << i
         return mask
 
     def _try_encode(self, subset: Iterable[E]) -> Optional[int]:
         """Like :meth:`encode` but None when an unknown event appears."""
         mask = 0
         index = self._index
+        by_id = self._index_by_id
         for event in subset:
-            i = index.get(event)
+            i = by_id.get(id(event))
             if i is None:
-                return None
+                i = index.get(event)
+                if i is None:
+                    return None
             mask |= 1 << i
         return mask
 

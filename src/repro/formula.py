@@ -56,7 +56,7 @@ class Formula:
     the absence of a Formula -- the combinators return ``None``.
     """
 
-    __slots__ = ("_literals", "_hash")
+    __slots__ = ("_literals", "_hash", "_repr")
 
     def __init__(self, literals: Iterable[Literal] = ()):
         lits = frozenset(literals)
@@ -67,6 +67,7 @@ class Formula:
             )
         object.__setattr__(self, "_literals", _canonicalize(lits))
         object.__setattr__(self, "_hash", hash(self._literals))
+        object.__setattr__(self, "_repr", None)
 
     @staticmethod
     def true() -> "Formula":
@@ -136,9 +137,17 @@ class Formula:
         return self._hash
 
     def __repr__(self) -> str:
-        if not self._literals:
-            return "true"
-        return " & ".join(repr(l) for l in sorted(self._literals))
+        # Formula reprs feed Event.__repr__, the pipeline's sort key.
+        if self._repr is None:
+            if not self._literals:
+                object.__setattr__(self, "_repr", "true")
+            else:
+                object.__setattr__(
+                    self,
+                    "_repr",
+                    " & ".join(repr(l) for l in sorted(self._literals)),
+                )
+        return self._repr
 
 
 def _contradictory(literals: FrozenSet[Literal]) -> bool:

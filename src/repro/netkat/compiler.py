@@ -21,6 +21,7 @@ switch steps come from the tables, link steps from the topology.
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass, field, replace
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
@@ -63,6 +64,7 @@ __all__ = [
     "Knowledge",
     "Configuration",
     "compile_policy",
+    "knowledge_fdd",
 ]
 
 
@@ -82,15 +84,30 @@ def link_free(p: Policy) -> bool:
 
 
 def strip_dup(p: Policy) -> Policy:
-    """Replace ``dup`` by the identity (dup only affects histories)."""
+    """Replace ``dup`` by the identity (dup only affects histories).
+
+    Identity-preserving: dup-free subtrees come back as the same object,
+    so the builder's id-keyed ``of_policy`` memo keeps hitting on the
+    subtrees that per-state projections share.
+    """
     if isinstance(p, Dup):
         return ID
     if isinstance(p, Union):
-        return Union(strip_dup(p.left), strip_dup(p.right))
+        left = strip_dup(p.left)
+        right = strip_dup(p.right)
+        return p if left is p.left and right is p.right else Union(left, right)
     if isinstance(p, Seq):
-        return seq_policy(strip_dup(p.left), strip_dup(p.right))
+        left = strip_dup(p.left)
+        right = strip_dup(p.right)
+        return (
+            p
+            if left is p.left and right is p.right
+            else seq_policy(left, right)
+        )
     if isinstance(p, Star):
         inner = strip_dup(p.operand)
+        if inner is p.operand:
+            return p
         return ID if inner is ID else Star(inner)
     return p
 
@@ -355,6 +372,53 @@ def _matches_overlap(m1: Match, m2: Match) -> bool:
     return True
 
 
+_at_location_predicates: Dict[Location, Predicate] = {}
+
+
+def _at_location_interned(location: Location) -> Predicate:
+    """A canonical ``at_location`` predicate AST per location.
+
+    ``compile_policy`` builds one reach-link guard per hop per call; the
+    builder's id-keyed ``of_predicate`` memo would pin a fresh throwaway
+    AST per compile, so the predicate objects are interned here (bounded
+    by the distinct locations ever compiled) and every compile hits the
+    same memo entry.
+    """
+    a = _at_location_predicates.get(location)
+    if a is None:
+        a = at_location(location)
+        _at_location_predicates[location] = a
+    return a
+
+
+# Per-builder knowledge-FDD caches.  The cache lives in this module
+# (the only place that knows Knowledge's (pos, neg) canonical key) and
+# is keyed weakly so a discarded builder releases its cache with it.
+_knowledge_caches: "weakref.WeakKeyDictionary[FDDBuilder, Dict[Tuple, FDD]]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def knowledge_fdd(builder: FDDBuilder, knowledge: Knowledge) -> FDD:
+    """The predicate FDD of a :class:`Knowledge`, cached per builder.
+
+    ``compile_policy`` re-derives the same knowledge predicates for every
+    frontier state of every hop (and the runtime compiles every
+    configuration against one shared builder), so the FDDs are memoized
+    per builder keyed by the canonical ``(pos, neg)`` tuple.
+    """
+    cache = _knowledge_caches.get(builder)
+    if cache is None:
+        cache = {}
+        _knowledge_caches[builder] = cache
+    key = (knowledge.pos, knowledge.neg)
+    d = cache.get(key)
+    if d is None:
+        d = builder.of_predicate(knowledge.predicate())
+        cache[key] = d
+    return d
+
+
 def compile_policy(
     policy: Policy,
     topology: Topology,
@@ -362,15 +426,17 @@ def compile_policy(
     name: str = "",
     guard: Optional[Predicate] = None,
     max_frontier: int = 4096,
+    knowledge_cache: bool = True,
 ) -> Configuration:
     """Compile a configuration policy to per-switch flow tables.
 
     ``guard`` is an extra predicate conjoined at the start of every path
     (the runtime uses it to guard rules by configuration tag, section 4).
+    ``knowledge_cache=False`` recompiles every knowledge predicate from
+    the AST (the pre-cache behavior, kept for differential tests).
     """
     builder = builder or FDDBuilder()
     per_switch_fdd: Dict[int, FDD] = {n: builder.drop for n in topology.switches}
-    residuals: List[FDD] = []
 
     prepared = strip_dup(policy)
     if guard is not None:
@@ -380,14 +446,28 @@ def compile_policy(
         frontier: List[Knowledge] = [Knowledge.empty()]
         for hop_index, segment in enumerate(alt.segments):
             is_final = hop_index == len(alt.links)
+            # The hop body is knowledge-independent: compile it once and
+            # sequence each frontier state's knowledge FDD in front of it.
+            hop_fdd = builder.of_policy(segment)
+            if not is_final:
+                link_ = alt.links[hop_index]
+                reach_link = builder.of_predicate(_at_location_interned(link_.src))
+                hop_fdd = builder.seq(hop_fdd, reach_link)
             next_frontier: Set[Knowledge] = set()
             for knowledge in frontier:
-                hop = seq_policy(Filter(knowledge.predicate()), segment)
-                d = builder.of_policy(hop)
-                if not is_final:
-                    link_ = alt.links[hop_index]
-                    reach_link = builder.of_predicate(at_location(link_.src))
-                    d = builder.seq(d, reach_link)
+                if knowledge_cache:
+                    k_fdd = knowledge_fdd(builder, knowledge)
+                else:
+                    # Reference path: recompile the predicate from a fresh
+                    # AST each time, bypassing the id-keyed memo so the
+                    # throwaway tree is not pinned in the builder.
+                    saved_ast_memo = builder.ast_memo
+                    builder.ast_memo = False
+                    try:
+                        k_fdd = builder.of_predicate(knowledge.predicate())
+                    finally:
+                        builder.ast_memo = saved_ast_memo
+                d = builder.seq(k_fdd, hop_fdd)
                 if d is builder.drop:
                     continue
                 switch_fdds, residual = _sw_decomposition(builder, d)
@@ -405,7 +485,6 @@ def compile_policy(
                         )
                 if is_final:
                     continue
-                link_ = alt.links[hop_index]
                 for constraints, actions in builder.paths(d):
                     for mod in actions:
                         next_frontier.add(

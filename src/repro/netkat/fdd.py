@@ -166,8 +166,15 @@ class FDDBuilder:
     combined together must come from the same builder.
     """
 
-    def __init__(self, order: Optional[FieldOrder] = None):
+    def __init__(
+        self,
+        order: Optional[FieldOrder] = None,
+        ordered_insert: bool = True,
+        ast_memo: bool = True,
+    ):
         self.order = order or FieldOrder()
+        self.ordered_insert = ordered_insert
+        self.ast_memo = ast_memo
         self._leaf_cache: Dict[ActionSet, Leaf] = {}
         self._branch_cache: Dict[Tuple[str, int, int, int], Branch] = {}
         self._next_id = 0
@@ -176,6 +183,16 @@ class FDDBuilder:
         self._memo_mask: Dict[Tuple[int, int], FDD] = {}
         self._memo_seq_mod: Dict[Tuple[Mod, int], FDD] = {}
         self._memo_negate: Dict[int, FDD] = {}
+        self._memo_ite: Dict[Tuple[str, int, int, int], FDD] = {}
+        # AST-compilation memos, keyed on node identity.  The value keeps
+        # the AST node alive so its id cannot be recycled while the memo
+        # can still serve it.  Configurations projected from one stateful
+        # program share subtree objects, so these hit across the per-state
+        # compiles of a CompiledNES.  Like the hash-consing caches above
+        # they grow for the builder's lifetime; a long-lived builder fed
+        # many unrelated programs can call clear_ast_memos() between them.
+        self._memo_of_policy: Dict[int, Tuple[object, FDD]] = {}
+        self._memo_of_predicate: Dict[int, Tuple[object, FDD]] = {}
         self.drop = self.leaf(frozenset())
         self.id = self.leaf(frozenset((IDENTITY_MOD,)))
 
@@ -328,14 +345,88 @@ class FDDBuilder:
         """Build "if field==value then hi else lo" re-establishing ordering.
 
         ``hi``/``lo`` may contain tests ordering before (field, value), so
-        a plain branch() would violate the path-ordering invariant.  Route
-        through mask/union which re-normalize.
+        a plain branch() would violate the path-ordering invariant.  The
+        default strategy splices the test in with one ordered-insert walk;
+        ``ordered_insert=False`` keeps the original mask/union route (two
+        guard FDDs plus two applies plus a union) as a reference
+        implementation for differential tests.
         """
         if hi is lo:
             return hi
+        if self.ordered_insert:
+            return self.ite_test(field, value, hi, lo)
         guard = self.branch(field, value, self.id, self.drop)
         n_guard = self.branch(field, value, self.drop, self.id)
         return self.union(self.mask(guard, hi), self.mask(n_guard, lo))
+
+    def ite_test(self, field: str, value: int, hi: FDD, lo: FDD) -> FDD:
+        """Ordered insert: one simultaneous walk of ``hi``/``lo`` that sinks
+        the test ``field == value`` to its ordered position.
+
+        Tests on ``field`` itself never interleave with tests on other
+        fields (the order key is lexicographic on (rank, name, value)), so
+        whenever (field, value) orders at or before both roots, every test
+        on ``field`` inside ``hi``/``lo`` sits in the root chain and
+        ``assume_true``/``assume_false`` decide them all.
+        """
+        if hi is lo:
+            return hi
+        key = (field, value, hi._id, lo._id)
+        cached = self._memo_ite.get(key)
+        if cached is not None:
+            return cached
+        test_key = self.order.test_key
+        k_test = test_key(field, value)
+        k_min = None
+        for root in (self._root_test(hi), self._root_test(lo)):
+            if root is not None:
+                k = test_key(*root)
+                if k_min is None or k < k_min:
+                    k_min = k
+        if k_min is None or k_test <= k_min:
+            # (field, value) belongs at the root; the children are fully
+            # decided on field by the assumptions.
+            result = self.branch(
+                field,
+                value,
+                self.assume_true(hi, field, value),
+                self.assume_false(lo, field, value),
+            )
+        else:
+            _, e, w = k_min
+            if e == field:
+                # w < value: under field == w the outer test is false, so
+                # only the lo side survives there.
+                result = self.branch(
+                    e,
+                    w,
+                    self.assume_true(lo, e, w),
+                    self.ite_test(
+                        field,
+                        value,
+                        self.assume_false(hi, e, w),
+                        self.assume_false(lo, e, w),
+                    ),
+                )
+            else:
+                result = self.branch(
+                    e,
+                    w,
+                    self.ite_test(
+                        field,
+                        value,
+                        self.assume_true(hi, e, w),
+                        self.assume_true(lo, e, w),
+                    ),
+                    self.ite_test(
+                        field,
+                        value,
+                        self.assume_false(hi, e, w),
+                        self.assume_false(lo, e, w),
+                    ),
+                )
+        self._memo_ite[key] = result
+        return result
 
     def seq(self, d1: FDD, d2: FDD) -> FDD:
         """Sequential composition ``d1 ; d2``."""
@@ -407,24 +498,44 @@ class FDDBuilder:
 
     # -- compilation from AST --------------------------------------------------
 
+    def clear_ast_memos(self) -> None:
+        """Release the id-keyed AST memos (and the AST trees they pin).
+
+        The compiled FDD nodes themselves stay interned; only the
+        policy/predicate-tree associations are dropped, so subsequent
+        compiles of the same objects re-walk the AST once.
+        """
+        self._memo_of_policy.clear()
+        self._memo_of_predicate.clear()
+
     def of_predicate(self, a: Predicate) -> FDD:
         """Compile a predicate to a 0/1-valued FDD."""
+        if self.ast_memo:
+            cached = self._memo_of_predicate.get(id(a))
+            if cached is not None:
+                return cached[1]
         if isinstance(a, PTrue):
-            return self.id
-        if isinstance(a, PFalse):
-            return self.drop
-        if isinstance(a, Test):
-            return self.branch(a.field, a.value, self.id, self.drop)
-        if isinstance(a, Neg):
-            return self.negate(self.of_predicate(a.operand))
-        if isinstance(a, Conj):
-            return self.seq(self.of_predicate(a.left), self.of_predicate(a.right))
-        if isinstance(a, Disj):
+            result = self.id
+        elif isinstance(a, PFalse):
+            result = self.drop
+        elif isinstance(a, Test):
+            result = self.branch(a.field, a.value, self.id, self.drop)
+        elif isinstance(a, Neg):
+            result = self.negate(self.of_predicate(a.operand))
+        elif isinstance(a, Conj):
+            result = self.seq(
+                self.of_predicate(a.left), self.of_predicate(a.right)
+            )
+        elif isinstance(a, Disj):
             left = self.of_predicate(a.left)
             right = self.of_predicate(a.right)
             # Predicate union must stay 0/1-valued: a|b = ~(~a & ~b).
-            return self.negate(self.seq(self.negate(left), self.negate(right)))
-        raise TypeError(f"not a predicate: {a!r}")
+            result = self.negate(self.seq(self.negate(left), self.negate(right)))
+        else:
+            raise TypeError(f"not a predicate: {a!r}")
+        if self.ast_memo:
+            self._memo_of_predicate[id(a)] = (a, result)
+        return result
 
     def of_policy(self, p: Policy) -> FDD:
         """Compile a link-free policy to an FDD.
@@ -433,24 +544,32 @@ class FDDBuilder:
         with no flow-table meaning, and links are split out by the path
         compiler before FDDs are built.
         """
+        if self.ast_memo:
+            cached = self._memo_of_policy.get(id(p))
+            if cached is not None:
+                return cached[1]
         if isinstance(p, Filter):
-            return self.of_predicate(p.predicate)
-        if isinstance(p, Assign):
-            return self.leaf(frozenset((mod_of({p.field: p.value}),)))
-        if isinstance(p, Union):
-            return self.union(self.of_policy(p.left), self.of_policy(p.right))
-        if isinstance(p, Seq):
-            return self.seq(self.of_policy(p.left), self.of_policy(p.right))
-        if isinstance(p, Star):
-            return self.star(self.of_policy(p.operand))
-        if isinstance(p, Dup):
+            result = self.of_predicate(p.predicate)
+        elif isinstance(p, Assign):
+            result = self.leaf(frozenset((mod_of({p.field: p.value}),)))
+        elif isinstance(p, Union):
+            result = self.union(self.of_policy(p.left), self.of_policy(p.right))
+        elif isinstance(p, Seq):
+            result = self.seq(self.of_policy(p.left), self.of_policy(p.right))
+        elif isinstance(p, Star):
+            result = self.star(self.of_policy(p.operand))
+        elif isinstance(p, Dup):
             raise ValueError("dup has no FDD form; strip it before compiling")
-        if isinstance(p, Link):
+        elif isinstance(p, Link):
             raise ValueError(
                 f"link {p!r} reached the FDD compiler; links must be "
                 "split out by repro.netkat.compiler first"
             )
-        raise TypeError(f"not a policy: {p!r}")
+        else:
+            raise TypeError(f"not a policy: {p!r}")
+        if self.ast_memo:
+            self._memo_of_policy[id(p)] = (p, result)
+        return result
 
     # -- evaluation and extraction ---------------------------------------------
 

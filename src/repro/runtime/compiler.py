@@ -44,10 +44,17 @@ class LocalityError(Exception):
 class CompiledNES:
     """An NES compiled to tags, per-state configurations, and guarded tables."""
 
-    def __init__(self, nes: NES, topology: Topology, builder: Optional[FDDBuilder] = None):
+    def __init__(
+        self,
+        nes: NES,
+        topology: Topology,
+        builder: Optional[FDDBuilder] = None,
+        knowledge_cache: bool = True,
+    ):
         self.nes = nes
         self.topology = topology
         self._builder = builder or FDDBuilder()
+        self._guarded_tables: Optional[Dict[int, FlowTable]] = None
 
         # Step 1: flat integer encodings.
         self.states: Tuple[StateVector, ...] = nes.configuration_states()
@@ -71,6 +78,7 @@ class CompiledNES:
                 topology,
                 builder=self._builder,
                 name=f"C{list(state)}",
+                knowledge_cache=knowledge_cache,
             )
             for state in self.states
         }
@@ -105,18 +113,33 @@ class CompiledNES:
         Priorities are partitioned per configuration; tags make the
         partitions disjoint, so relative priorities within each
         configuration are preserved.
+
+        The merged tables are memoized (``forwarding_rule_count``, repr,
+        and the runtime all re-derive them); a fresh dict over the
+        immutable :class:`FlowTable` values is returned each call, so
+        callers may mutate the mapping without corrupting the cache.  Use
+        :meth:`invalidate_guarded_tables` after replacing a
+        configuration in ``self.configurations``.
         """
-        tables: Dict[int, List[Rule]] = {n: [] for n in self.topology.switches}
-        for state in self.states:
-            config_id = self.config_ids[state]
-            config = self.configurations[state]
-            for switch, table in config.tables.items():
-                for rule in table:
-                    guarded_match = rule.match.extended(TAG_FIELD, config_id)
-                    tables.setdefault(switch, []).append(
-                        Rule(rule.priority, guarded_match, rule.actions)
-                    )
-        return {n: FlowTable(rules) for n, rules in tables.items()}
+        if self._guarded_tables is None:
+            tables: Dict[int, List[Rule]] = {n: [] for n in self.topology.switches}
+            for state in self.states:
+                config_id = self.config_ids[state]
+                config = self.configurations[state]
+                for switch, table in config.tables.items():
+                    for rule in table:
+                        guarded_match = rule.match.extended(TAG_FIELD, config_id)
+                        tables.setdefault(switch, []).append(
+                            Rule(rule.priority, guarded_match, rule.actions)
+                        )
+            self._guarded_tables = {
+                n: FlowTable(rules) for n, rules in tables.items()
+            }
+        return dict(self._guarded_tables)
+
+    def invalidate_guarded_tables(self) -> None:
+        """Drop the memoized merged tables (rebuilt on next access)."""
+        self._guarded_tables = None
 
     def forwarding_rule_count(self) -> int:
         """Rules in the guarded merged tables (steps 1-3)."""
@@ -158,6 +181,7 @@ def compile_nes(
     topology: Topology,
     builder: Optional[FDDBuilder] = None,
     enforce_locality: bool = True,
+    knowledge_cache: bool = True,
 ) -> CompiledNES:
     """Compile an NES, first checking the locally-determined condition.
 
@@ -174,4 +198,4 @@ def compile_nes(
                 f"set {set(sample)} spans multiple switches "
                 f"({len(violations)} violation(s) total)"
             )
-    return CompiledNES(nes, topology, builder=builder)
+    return CompiledNES(nes, topology, builder=builder, knowledge_cache=knowledge_cache)

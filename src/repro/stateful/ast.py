@@ -22,7 +22,7 @@ whole-vector sugar used throughout Figure 9.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Sequence, Tuple
+from typing import Iterable, Optional, Sequence, Tuple
 
 from ..netkat.ast import Conj, Policy, Predicate, conj
 from ..netkat.packet import Location
@@ -36,6 +36,8 @@ __all__ = [
     "link_update",
     "vector_update",
     "uses_state",
+    "state_component_range",
+    "validate_state_references",
 ]
 
 StateVector = Tuple[int, ...]
@@ -114,17 +116,94 @@ def vector_update(vector: StateVector, updates: Iterable[Tuple[int, int]]) -> St
 
 
 def uses_state(node: Policy | Predicate) -> bool:
-    """Does this (sub)program mention the global state at all?"""
+    """Does this (sub)program mention the global state at all?
+
+    The answer is cached on the (frozen, immutable) AST node: projection
+    asks this for every subtree of every per-state walk, and state-free
+    subtrees project to themselves under every state vector.
+    """
     from ..netkat.ast import Disj, Filter, Neg, Seq, Star, Union
 
+    cached = node.__dict__.get("_uses_state_cache")
+    if cached is not None:
+        return cached
     if isinstance(node, (StateTest, LinkUpdate)):
-        return True
-    if isinstance(node, Filter):
-        return uses_state(node.predicate)
-    if isinstance(node, Neg):
-        return uses_state(node.operand)
-    if isinstance(node, (Conj, Disj, Union, Seq)):
-        return uses_state(node.left) or uses_state(node.right)
-    if isinstance(node, Star):
-        return uses_state(node.operand)
-    return False
+        value = True
+    elif isinstance(node, Filter):
+        value = uses_state(node.predicate)
+    elif isinstance(node, Neg):
+        value = uses_state(node.operand)
+    elif isinstance(node, (Conj, Disj, Union, Seq)):
+        value = uses_state(node.left) or uses_state(node.right)
+    elif isinstance(node, Star):
+        value = uses_state(node.operand)
+    else:
+        value = False
+    object.__setattr__(node, "_uses_state_cache", value)
+    return value
+
+
+_UNCOMPUTED = object()
+
+
+def state_component_range(
+    node: Policy | Predicate,
+) -> Optional[Tuple[int, int]]:
+    """The (min, max) state-component indices referenced anywhere in the
+    (sub)program, or ``None`` when it mentions no state components.
+
+    Cached on the (frozen, immutable) AST node so projection can bounds-
+    check a whole program in O(1) after the first walk, even though its
+    short-circuits skip guard-dead subtrees.
+    """
+    from ..netkat.ast import Disj, Filter, Neg, Seq, Star, Union
+
+    cached = node.__dict__.get("_state_component_range", _UNCOMPUTED)
+    if cached is not _UNCOMPUTED:
+        return cached
+    value: Optional[Tuple[int, int]]
+    if isinstance(node, StateTest):
+        value = (node.component, node.component)
+    elif isinstance(node, LinkUpdate):
+        components = [component for component, _ in node.updates]
+        value = (min(components), max(components)) if components else None
+    elif isinstance(node, Filter):
+        value = state_component_range(node.predicate)
+    elif isinstance(node, Neg):
+        value = state_component_range(node.operand)
+    elif isinstance(node, (Conj, Disj, Union, Seq)):
+        left = state_component_range(node.left)
+        right = state_component_range(node.right)
+        if left is None:
+            value = right
+        elif right is None:
+            value = left
+        else:
+            value = (min(left[0], right[0]), max(left[1], right[1]))
+    elif isinstance(node, Star):
+        value = state_component_range(node.operand)
+    else:
+        value = None
+    object.__setattr__(node, "_state_component_range", value)
+    return value
+
+
+def validate_state_references(node: Policy | Predicate, width: int) -> None:
+    """Raise IndexError if any state reference is out of range for a
+    ``width``-component state vector.
+
+    Projection prunes subtrees whose guards resolve to false without
+    walking their bodies, so a malformed state index in dead code would
+    otherwise go unreported; whole programs are validated up front
+    instead.
+    """
+    component_range = state_component_range(node)
+    if component_range is None:
+        return  # no state references at all
+    lo, hi = component_range
+    if lo < 0 or hi >= width:
+        component = lo if lo < 0 else hi
+        raise IndexError(
+            f"state component {component} out of range for a "
+            f"{width}-component state vector"
+        )

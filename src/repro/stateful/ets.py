@@ -19,7 +19,7 @@ from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tup
 
 from ..events.event import Event
 from ..netkat.ast import Policy
-from .ast import StateVector
+from .ast import StateVector, validate_state_references
 from .events import EventEdge, extract
 from .projection import project
 
@@ -40,21 +40,36 @@ class ETS:
     edges: FrozenSet[EventEdge]
 
     def configuration(self, state: StateVector) -> Policy:
-        for vertex_state, policy in self.vertices:
-            if vertex_state == state:
-                return policy
-        raise KeyError(f"state {state} is not a vertex of this ETS")
+        by_state = self.__dict__.get("_by_state")
+        if by_state is None:
+            by_state = {}
+            for vertex_state, policy in self.vertices:
+                # First match wins, like the linear scan this replaces
+                # (nothing forbids hand-built ETSs with duplicate states).
+                by_state.setdefault(vertex_state, policy)
+            object.__setattr__(self, "_by_state", by_state)
+        try:
+            return by_state[state]
+        except KeyError:
+            raise KeyError(f"state {state} is not a vertex of this ETS") from None
 
     def states(self) -> Tuple[StateVector, ...]:
         return tuple(state for state, _ in self.vertices)
 
     def out_edges(self, state: StateVector) -> Tuple[EventEdge, ...]:
-        return tuple(
-            sorted(
-                (e for e in self.edges if e.src == state),
-                key=lambda e: (repr(e.event), e.dst),
-            )
-        )
+        # family_of_ets asks for a state's out-edges once per path visit;
+        # index and sort the edge set per source state on first use.
+        index = self.__dict__.get("_out_edges")
+        if index is None:
+            grouped: Dict[StateVector, List[EventEdge]] = {}
+            for e in self.edges:
+                grouped.setdefault(e.src, []).append(e)
+            index = {
+                src: tuple(sorted(es, key=lambda e: (repr(e.event), e.dst)))
+                for src, es in grouped.items()
+            }
+            object.__setattr__(self, "_out_edges", index)
+        return index.get(state, ())
 
     def events(self) -> FrozenSet[Event]:
         return frozenset(e.event for e in self.edges)
@@ -111,6 +126,9 @@ def build_ets(
     )
     if allowed is not None and initial not in allowed:
         raise ValueError(f"initial state {initial} not in the given state space")
+    # Projection prunes dead segments without walking their bodies, so
+    # out-of-range state references are checked once for the whole program.
+    validate_state_references(program, len(initial))
 
     visited: Set[StateVector] = {initial}
     order: List[StateVector] = [initial]

@@ -77,6 +77,10 @@ class ExtractResult:
 
     def join(self, other: "ExtractResult") -> "ExtractResult":
         """Pointwise union (the figure's ⊔)."""
+        if not self.edges and not self.formulas:
+            return other
+        if not other.edges and not other.formulas:
+            return self
         return ExtractResult(
             self.edges | other.edges, self.formulas | other.formulas
         )
@@ -85,52 +89,99 @@ class ExtractResult:
 _EMPTY = ExtractResult(frozenset(), frozenset())
 
 
-def extract(p: Policy, state: StateVector, phi: Optional[Formula] = None) -> ExtractResult:
-    """Compute ``⟬p⟭~k phi``."""
+def extract(
+    p: Policy,
+    state: StateVector,
+    phi: Optional[Formula] = None,
+    _memo: Optional[dict] = None,
+) -> ExtractResult:
+    """Compute ``⟬p⟭~k phi``.
+
+    Results are memoized per top-level call on ``(id(subterm), phi)`` --
+    the state is fixed for the whole walk, and the star fixpoint
+    re-extracts its body for formulas already seen in earlier iterates.
+    Keying on object identity is safe here because every subterm stays
+    reachable from ``p`` for the memo's lifetime.
+    """
     if phi is None:
         phi = Formula.true()
-    if isinstance(p, Filter):
-        return _extract_predicate(p.predicate, state, phi, positive=True)
-    if isinstance(p, Assign):
-        if p.field in (SW, PT):
-            return ExtractResult.of(phi)
-        updated = phi.without_field(p.field).conjoin(Literal(p.field, EQ, p.value))
-        return ExtractResult.of(updated)
-    if isinstance(p, Union):
-        return extract(p.left, state, phi).join(extract(p.right, state, phi))
+    if _memo is None:
+        _memo = {}
+    key = (id(p), phi)
+    result = _memo.get(key)
+    if result is not None:
+        return result
+    # Dispatch ordered by observed frequency on the seed apps.
     if isinstance(p, Seq):
-        return _kleisli(p.left, p.right, state, phi)
-    if isinstance(p, Star):
-        return _extract_star(p.operand, state, phi)
-    if isinstance(p, Dup):
-        return ExtractResult.of(phi)
-    if isinstance(p, LinkUpdate):
+        result = _kleisli(p.left, p.right, state, phi, _memo)
+    elif isinstance(p, Filter):
+        result = _extract_predicate(p.predicate, state, phi, positive=True)
+    elif isinstance(p, Union):
+        result = extract(p.left, state, phi, _memo).join(
+            extract(p.right, state, phi, _memo)
+        )
+    elif isinstance(p, Assign):
+        if p.field in (SW, PT):
+            result = ExtractResult.of(phi)
+        else:
+            updated = phi.without_field(p.field).conjoin(
+                Literal(p.field, EQ, p.value)
+            )
+            result = ExtractResult.of(updated)
+    elif isinstance(p, LinkUpdate):
         event = Event(phi, p.dst)
         edge = EventEdge(state, event, vector_update(state, p.updates))
-        return ExtractResult(frozenset((edge,)), frozenset((phi,)))
-    if isinstance(p, Link):
-        return ExtractResult.of(phi)
-    raise TypeError(f"not a stateful policy: {p!r}")
-
-
-def _kleisli(left: Policy, right: Policy, state: StateVector, phi: Formula) -> ExtractResult:
-    """``(⟬left⟭ ‚ ⟬right⟭) phi`` -- thread each left formula through right."""
-    first = extract(left, state, phi)
-    result = ExtractResult(first.edges, frozenset())
-    for psi in first.formulas:
-        result = result.join(extract(right, state, psi))
+        result = ExtractResult(frozenset((edge,)), frozenset((phi,)))
+    elif isinstance(p, Link):
+        result = ExtractResult.of(phi)
+    elif isinstance(p, Star):
+        result = _extract_star(p.operand, state, phi, _memo)
+    elif isinstance(p, Dup):
+        result = ExtractResult.of(phi)
+    else:
+        raise TypeError(f"not a stateful policy: {p!r}")
+    _memo[key] = result
     return result
 
 
-def _extract_star(body: Policy, state: StateVector, phi: Formula) -> ExtractResult:
+def _kleisli(
+    left: Policy, right: Policy, state: StateVector, phi: Formula, memo: dict
+) -> ExtractResult:
+    """``(⟬left⟭ ‚ ⟬right⟭) phi`` -- thread each left formula through right."""
+    first = extract(left, state, phi, memo)
+    if not first.formulas:
+        # Nothing to thread (e.g. a state guard resolved false).
+        return first
+    if len(first.formulas) == 1:
+        (psi,) = first.formulas
+        threaded = extract(right, state, psi, memo)
+        if not first.edges:
+            return threaded
+        return ExtractResult(first.edges | threaded.edges, threaded.formulas)
+    edges = set(first.edges)
+    formulas: Set[Formula] = set()
+    for psi in first.formulas:
+        threaded = extract(right, state, psi, memo)
+        edges.update(threaded.edges)
+        formulas.update(threaded.formulas)
+    return ExtractResult(frozenset(edges), frozenset(formulas))
+
+
+def _extract_star(
+    body: Policy, state: StateVector, phi: Formula, memo: dict
+) -> ExtractResult:
     """``⟬p*⟭ phi = ⊔_j F_p^j(phi, ~k)`` iterated to fixpoint."""
     # F^0 = ({}, {phi}); F^(j+1) = ⟬p⟭ ‚ F^j.
     total = ExtractResult.of(phi)
     frontier_formulas: FrozenSet[Formula] = frozenset((phi,))
     for _ in range(STAR_EXTRACT_FUEL):
-        step = _EMPTY
+        step_edges: Set[EventEdge] = set()
+        step_formulas: Set[Formula] = set()
         for psi in frontier_formulas:
-            step = step.join(extract(body, state, psi))
+            unfolded = extract(body, state, psi, memo)
+            step_edges.update(unfolded.edges)
+            step_formulas.update(unfolded.formulas)
+        step = ExtractResult(frozenset(step_edges), frozenset(step_formulas))
         new_total = total.join(step)
         new_frontier = step.formulas - total.formulas
         if new_total == total and not new_frontier:
@@ -192,7 +243,10 @@ def _pred_seq(
 ) -> ExtractResult:
     """Conjunction as sequencing: thread left's formulas through right."""
     first = _extract_predicate(left, state, phi, left_positive)
-    result = ExtractResult(first.edges, frozenset())
+    edges = set(first.edges)
+    formulas: Set[Formula] = set()
     for psi in first.formulas:
-        result = result.join(_extract_predicate(right, state, psi, right_positive))
-    return result
+        threaded = _extract_predicate(right, state, psi, right_positive)
+        edges.update(threaded.edges)
+        formulas.update(threaded.formulas)
+    return ExtractResult(frozenset(edges), frozenset(formulas))

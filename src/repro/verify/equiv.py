@@ -115,11 +115,56 @@ def stateful_projections_equivalent(
     from ..netkat.compiler import link_free, strip_dup
 
     for state in states:
-        cp = strip_dup(project(p, state))
-        cq = strip_dup(project(q, state))
+        cp = _normalize(strip_dup(project(p, state)))
+        cq = _normalize(strip_dup(project(q, state)))
         if link_free(cp) and link_free(cq):
             if not policies_equivalent(cp, cq, builder):
                 differing.append(state)
         elif cp != cq:
             differing.append(state)
     return differing
+
+
+def _normalize(p: Policy) -> Policy:
+    """Rebuild a policy through the smart constructors.
+
+    Projection and ``strip_dup`` preserve node identity on untouched
+    subtrees, so trivially-simplifiable shapes (``id ; q``, ``drop + q``,
+    ...) survive in their projections.  The AST-equality fallback below
+    compares the normalized forms so identity-preserved and rebuilt
+    projections of equivalent programs still compare equal.
+    """
+    from ..netkat.ast import (
+        Conj,
+        Disj,
+        Filter,
+        Neg,
+        Seq,
+        Star,
+        Union,
+        conj,
+        disj,
+        neg,
+        seq,
+        star,
+        union,
+    )
+
+    def norm_pred(a: Predicate) -> Predicate:
+        if isinstance(a, Neg):
+            return neg(norm_pred(a.operand))
+        if isinstance(a, Conj):
+            return conj(norm_pred(a.left), norm_pred(a.right))
+        if isinstance(a, Disj):
+            return disj(norm_pred(a.left), norm_pred(a.right))
+        return a
+
+    if isinstance(p, Filter):
+        return Filter(norm_pred(p.predicate))
+    if isinstance(p, Union):
+        return union(_normalize(p.left), _normalize(p.right))
+    if isinstance(p, Seq):
+        return seq(_normalize(p.left), _normalize(p.right))
+    if isinstance(p, Star):
+        return star(_normalize(p.operand))
+    return p
