@@ -2,11 +2,15 @@
 
 Usage::
 
-    PYTHONPATH=src python -m benchmarks.run_perf [--quick] [--out PATH]
+    PYTHONPATH=src python -m benchmarks.run_perf [--quick] \
+        [--backend serial|thread] [--out PATH]
 
 Runs each benchmark ``rounds`` times (3 with ``--quick``, 7 otherwise),
-records the per-bench median wall-clock seconds, and writes
-``BENCH_compiler_perf.json`` at the repository root.  The file is
+records the per-bench median wall-clock seconds plus per-stage
+(ets/nes/compile) pipeline timings for the ids and cap-20 apps, and
+writes ``BENCH_compiler_perf.json`` at the repository root.
+``--backend`` selects the pipeline executor for the full-app compile
+benches (the outputs are byte-identical; only the timing changes).  The file is
 checked in so the perf trajectory is visible PR over PR; re-run this
 after touching the compiler, the FDD algebra, or the event-structure
 engine, and commit the refreshed numbers.
@@ -25,7 +29,7 @@ import platform
 import statistics
 import time
 from pathlib import Path
-from typing import Callable, Dict, List, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.apps import bandwidth_cap_app, firewall_app, ids_app
 from repro.consistency.checker import NESChecker
@@ -36,46 +40,54 @@ from repro.events.locality import (
 )
 from repro.netkat.fdd import FDDBuilder
 from repro.optimize.trie import build_trie, heuristic_order, trie_rule_count
+from repro.pipeline import BACKENDS, CompileOptions, Pipeline
 
 from .bench_compiler_perf import random_link_free_policy
 from .bench_scale_events import wide_structure
 
+def _pipeline_of(app, options: CompileOptions) -> Pipeline:
+    return Pipeline(app.program, app.topology, app.initial_state, options)
 
-def _bench_fdd_compile() -> None:
+
+# Every bench takes the run's CompileOptions (the executor backend for
+# the full-app compile benches; ignored by the pure FDD/NES/trie ones)
+# so callers pick the configuration explicitly instead of mutating
+# module state.
+def _bench_fdd_compile(options: CompileOptions) -> None:
     policy = random_link_free_policy(seed=7)
     FDDBuilder().of_policy(policy)
 
 
-def _bench_fdd_union() -> None:
+def _bench_fdd_union(options: CompileOptions) -> None:
     p = random_link_free_policy(seed=1, branches=16)
     q = random_link_free_policy(seed=2, branches=16)
     b = FDDBuilder()
     b.union(b.of_policy(p), b.of_policy(q))
 
 
-def _bench_full_app_compile_ids() -> None:
-    ids_app().compiled.total_rule_count()
+def _bench_full_app_compile_ids(options: CompileOptions) -> None:
+    _pipeline_of(ids_app(), options).compiled.total_rule_count()
 
 
-def _bench_cap_chain_nes_conversion() -> None:
+def _bench_cap_chain_nes_conversion(options: CompileOptions) -> None:
     nes_of_ets(bandwidth_cap_app(20).ets)
 
 
-def _bench_cap20_full_compile() -> None:
-    bandwidth_cap_app(20).compiled.total_rule_count()
+def _bench_cap20_full_compile(options: CompileOptions) -> None:
+    _pipeline_of(bandwidth_cap_app(20), options).compiled.total_rule_count()
 
 
-def _bench_cap24_full_compile() -> None:
-    bandwidth_cap_app(24).compiled.total_rule_count()
+def _bench_cap24_full_compile(options: CompileOptions) -> None:
+    _pipeline_of(bandwidth_cap_app(24), options).compiled.total_rule_count()
 
 
-def _bench_wide_locality() -> None:
+def _bench_wide_locality(options: CompileOptions) -> None:
     nes = wide_structure(8, 2)
     minimally_inconsistent_sets(nes.structure)
     is_locally_determined(nes)
 
 
-def _bench_trace_checker() -> None:
+def _bench_trace_checker(options: CompileOptions) -> None:
     app = firewall_app()
     rt = app.runtime(seed=0)
     for i in range(6):
@@ -87,7 +99,7 @@ def _bench_trace_checker() -> None:
     NESChecker(app.nes, app.topology).check(trace)
 
 
-def _bench_trie_heuristic() -> None:
+def _bench_trie_heuristic(options: CompileOptions) -> None:
     import random
 
     rng = random.Random(3)
@@ -98,7 +110,7 @@ def _bench_trie_heuristic() -> None:
     trie_rule_count(build_trie(heuristic_order(configs)))
 
 
-BENCHES: Tuple[Tuple[str, Callable[[], None]], ...] = (
+BENCHES: Tuple[Tuple[str, Callable[[CompileOptions], None]], ...] = (
     ("fdd_compile", _bench_fdd_compile),
     ("fdd_union", _bench_fdd_union),
     ("full_app_compile_ids", _bench_full_app_compile_ids),
@@ -111,14 +123,17 @@ BENCHES: Tuple[Tuple[str, Callable[[], None]], ...] = (
 )
 
 
-def run(rounds: int) -> Dict[str, Dict[str, float]]:
+def run(
+    rounds: int, options: Optional[CompileOptions] = None
+) -> Dict[str, Dict[str, float]]:
+    options = options if options is not None else CompileOptions()
     results: Dict[str, Dict[str, float]] = {}
     for name, fn in BENCHES:
-        fn()  # warm-up round (imports, module-level caches)
+        fn(options)  # warm-up round (imports, module-level caches)
         times: List[float] = []
         for _ in range(rounds):
             start = time.perf_counter()
-            fn()
+            fn(options)
             times.append(time.perf_counter() - start)
         results[name] = {
             "median_s": round(statistics.median(times), 6),
@@ -129,10 +144,47 @@ def run(rounds: int) -> Dict[str, Dict[str, float]]:
     return results
 
 
+# Apps whose staged (ets/nes/compile) timings are recorded per stage.
+PIPELINE_STAGE_APPS: Tuple[Tuple[str, Callable[[], object]], ...] = (
+    ("ids", ids_app),
+    ("cap20", lambda: bandwidth_cap_app(20)),
+)
+
+
+def run_pipeline_stages(
+    rounds: int, options: Optional[CompileOptions] = None
+) -> Dict[str, Dict[str, float]]:
+    """Median per-stage pipeline wall-clock times, per app."""
+    options = options if options is not None else CompileOptions()
+    out: Dict[str, Dict[str, float]] = {}
+    for name, make in PIPELINE_STAGE_APPS:
+        samples: Dict[str, List[float]] = {"ets": [], "nes": [], "compile": []}
+        _pipeline_of(make(), options).compiled  # warm-up round, like run()
+        for _ in range(rounds):
+            pipeline = _pipeline_of(make(), options)
+            pipeline.compiled
+            for stage, seconds in pipeline.report().stage_seconds:
+                samples[stage].append(seconds)
+        out[name] = {
+            f"{stage}_median_s": round(statistics.median(times), 6)
+            for stage, times in samples.items()
+            if times
+        }
+        summary = "  ".join(f"{k} {v:.6f}s" for k, v in out[name].items())
+        print(f"pipeline[{name:6s}] {summary}")
+    return out
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--quick", action="store_true", help="3 rounds per bench instead of 7"
+    )
+    parser.add_argument(
+        "--backend",
+        choices=BACKENDS,
+        default="serial",
+        help="pipeline executor for the full-app compile benches",
     )
     parser.add_argument(
         "--out",
@@ -140,13 +192,17 @@ def main() -> int:
         help="output JSON path (default: repo root)",
     )
     args = parser.parse_args()
+    options = CompileOptions(backend=args.backend)
     rounds = 3 if args.quick else 7
-    results = run(rounds)
+    results = run(rounds, options)
+    stages = run_pipeline_stages(rounds, options)
     payload = {
         "suite": "compiler_perf",
         "python": platform.python_version(),
         "rounds": rounds,
+        "backend": args.backend,
         "benches": results,
+        "pipeline_stages": stages,
     }
     Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {args.out}")

@@ -18,6 +18,7 @@ firewall -- it starts open and shuts).
 Run:  python examples/custom_app.py
 """
 
+from repro import CompileOptions
 from repro.apps.base import App
 from repro.events.locality import is_locally_determined
 from repro.netkat import parse_policy, pretty_policy
@@ -51,6 +52,9 @@ def build_app() -> App:
         topology=topology,
         initial_state=(0,),
         description="H1 gets exactly one probe to H4; the probe shuts the gate.",
+        # All compile knobs live here; e.g. backend="thread" shards the
+        # per-configuration compiles, cache_dir=... persists artifacts.
+        options=CompileOptions(),
     )
 
 
@@ -60,11 +64,15 @@ def main() -> None:
     print("Program (pretty-printed back from the AST):")
     print(" ", pretty_policy(app.program), "\n")
 
+    pipeline = app.pipeline  # the staged toolchain behind ets/nes/compiled
     print("ETS:")
-    print(app.ets, "\n")
-    nes = app.nes  # raises if the section 3.1 conditions fail
+    print(pipeline.ets, "\n")
+    nes = pipeline.nes  # raises if the section 3.1 conditions fail
     print(f"NES: {nes}")
     print(f"locally determined: {is_locally_determined(nes)}\n")
+    compiled = pipeline.compiled
+    print(f"Compiled: {compiled}")
+    print(f"{pipeline.report()}\n")
 
     print("Exhaustively verifying a 2-probe race against Definition 6 ...")
     result = explore_all_interleavings(

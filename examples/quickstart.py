@@ -4,11 +4,11 @@
 This walks the full pipeline of the paper on its running example:
 
 1. write a Stateful NetKAT program (Figure 9(a));
-2. extract the event-driven transition system (section 3.3);
-3. convert it to a network event structure (section 3.1);
-4. compile the NES to tagged flow tables (section 4);
-5. execute the operational semantics on a ping workload;
-6. check the resulting network trace against Definition 6.
+2. run the staged pipeline (ETS -> NES -> tagged flow tables) through
+   the ``Pipeline`` façade, inspecting each artifact and the per-stage
+   timing report;
+3. execute the operational semantics on a ping workload;
+4. check the resulting network trace against Definition 6.
 
 Run:  python examples/quickstart.py
 """
@@ -23,22 +23,25 @@ def main() -> None:
     print(f"Application: {app.name}")
     print(f"  {app.description}\n")
 
-    # -- the ETS and NES ----------------------------------------------------
+    # -- the staged pipeline: ETS, NES, compiled tables ----------------------
+    # Every app owns a Pipeline; compile options (backend, artifact
+    # cache, cache off-switches) are one frozen CompileOptions object on
+    # the app.  See repro.pipeline for the full knob list.
+    pipeline = app.pipeline
     print("Event-driven transition system:")
-    print(app.ets, "\n")
-    nes = app.nes
+    print(pipeline.ets, "\n")
+    nes = pipeline.nes
     print(f"NES: {nes}")
     print(f"  locally determined: {is_locally_determined(nes)}")
     print(f"  event-sets: {[sorted(map(repr, s)) for s in sorted(nes.event_sets(), key=len)]}\n")
 
-    # -- compiled flow tables -------------------------------------------------
-    compiled = app.compiled
+    compiled = pipeline.compiled
     print(f"Compiled: {compiled}")
     for switch, table in sorted(compiled.guarded_tables().items()):
         print(f"  switch {switch}:")
         for rule in table:
             print(f"    {rule!r}")
-    print()
+    print(f"\nPer-stage report:\n{pipeline.report()}\n")
 
     # -- execute the Figure 7 semantics -----------------------------------------
     rt = app.runtime(seed=0)

@@ -14,22 +14,38 @@ Layers, bottom to top:
 - :mod:`repro.baselines` -- uncoordinated updates, static reference
 - :mod:`repro.optimize` -- the rule-sharing trie heuristic (section 5.3)
 - :mod:`repro.apps` -- the five case studies and the ring workload
+- :mod:`repro.pipeline` -- the staged compilation façade over all of it
 
-Quickstart::
+Quickstart -- compile through the staged pipeline, then run it::
 
+    import repro
     from repro.apps import firewall_app
     from repro.consistency import check_trace_against_nes
 
     app = firewall_app()
+    compiled = repro.compile_app(app)        # ETS -> NES -> flow tables
+    print(app.pipeline.report())             # per-stage timings + stats
+
     rt = app.runtime(seed=0)
     rt.inject("H1", {"ip_dst": 4, "ip_src": 1})
     rt.run_until_quiescent()
     report = check_trace_against_nes(rt.network_trace(), app.nes, app.topology)
     assert report.correct
+
+Every compiler knob lives on :class:`repro.CompileOptions`; a
+:class:`repro.Pipeline` built with ``CompileOptions(backend="thread")``
+shards the per-configuration compiles, and one built with
+``CompileOptions(cache_dir=...)`` persists compiled artifacts so a
+repeated construction skips the toolchain entirely::
+
+    opts = repro.CompileOptions(backend="thread", cache_dir=".repro-cache")
+    pipeline = repro.Pipeline(app.program, app.topology, app.initial_state, opts)
+    tables = pipeline.compiled.guarded_tables()
 """
 
-from . import apps, baselines, consistency, events, netkat, network, optimize, runtime, stateful, verify
+from . import apps, baselines, consistency, events, netkat, network, optimize, pipeline, runtime, stateful, verify
 from .formula import EQ, Formula, Literal, NE
+from .pipeline import CompileOptions, Pipeline, compile_app
 from .topology import Host, Topology
 
 __version__ = "0.1.0"
@@ -45,6 +61,10 @@ __all__ = [
     "optimize",
     "apps",
     "verify",
+    "pipeline",
+    "Pipeline",
+    "CompileOptions",
+    "compile_app",
     "Topology",
     "Host",
     "Formula",

@@ -1,23 +1,27 @@
 """Common structure for the paper's case-study applications (section 5.1).
 
 Each application bundles a Stateful NetKAT program, the topology of
-Figure 8 it runs on, and an initial state vector; :meth:`App.build`
-produces the ETS, NES, and compiled artifact on demand (cached).
+Figure 8 it runs on, an initial state vector, and the
+:class:`~repro.pipeline.CompileOptions` it compiles under; the staged
+artifacts (:attr:`App.ets`, :attr:`App.nes`, :attr:`App.compiled`) all
+delegate to one cached :class:`~repro.pipeline.Pipeline`, so an app
+constructed with ``options.cache_dir`` set skips the whole toolchain on
+a warm artifact cache.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from functools import cached_property
-from typing import Dict, Optional, Tuple
+from typing import Dict
 
-from ..events.ets_to_nes import nes_of_ets
 from ..events.nes import NES
 from ..netkat.ast import Policy
-from ..runtime.compiler import CompiledNES, compile_nes
+from ..pipeline import CompileOptions, Pipeline
+from ..runtime.compiler import CompiledNES
 from ..runtime.semantics import Runtime
 from ..stateful.ast import StateVector
-from ..stateful.ets import ETS, build_ets
+from ..stateful.ets import ETS
 from ..topology import Topology
 
 __all__ = ["App", "HOSTS"]
@@ -36,18 +40,26 @@ class App:
     topology: Topology
     initial_state: StateVector
     description: str = ""
+    options: CompileOptions = CompileOptions()
 
     @cached_property
+    def pipeline(self) -> Pipeline:
+        """The staged compilation pipeline for this app (built once)."""
+        return Pipeline(
+            self.program, self.topology, self.initial_state, self.options
+        )
+
+    @property
     def ets(self) -> ETS:
-        return build_ets(self.program, self.initial_state)
+        return self.pipeline.ets
 
-    @cached_property
+    @property
     def nes(self) -> NES:
-        return nes_of_ets(self.ets)
+        return self.pipeline.nes
 
-    @cached_property
+    @property
     def compiled(self) -> CompiledNES:
-        return compile_nes(self.nes, self.topology)
+        return self.pipeline.compiled
 
     def runtime(self, seed: int = 0, controller_assist: bool = False) -> Runtime:
         """A fresh runtime executing this application."""

@@ -4,7 +4,9 @@ Usage (also via ``python -m repro``)::
 
     python -m repro show-ets  program.snk --topology firewall
     python -m repro check     program.snk --topology star --initial 0
-    python -m repro compile   program.snk --topology firewall
+    python -m repro compile   program.snk --topology firewall \
+                              [--backend serial|thread] [--cache-dir DIR] \
+                              [--no-knowledge-cache] [--report]
     python -m repro optimize  program.snk --topology firewall
     python -m repro apps
 
@@ -23,9 +25,11 @@ from typing import List, Optional, Sequence
 
 from .events.ets_to_nes import ETSConversionError, check_finite_complete, family_of_ets, nes_of_ets
 from .events.locality import is_locally_determined, locality_violations
+from .netkat.flowtable import TagFieldError
 from .netkat.parser import ParseError, parse_policy
 from .optimize.sharing import optimize_compiled_nes
-from .runtime.compiler import LocalityError, compile_nes
+from .pipeline import BACKENDS, CompileOptions, Pipeline
+from .runtime.compiler import LocalityError
 from .stateful.ast import StateVector
 from .stateful.ets import build_ets
 from .topology import (
@@ -118,29 +122,41 @@ def _cmd_check(args: argparse.Namespace) -> int:
 def _cmd_compile(args: argparse.Namespace) -> int:
     program = _load_program(args.program)
     topology = _topology_of(args.topology)
-    ets = build_ets(program, _initial_of(args.initial))
+    options = CompileOptions(
+        backend=args.backend,
+        cache_dir=args.cache_dir,
+        knowledge_cache=not args.no_knowledge_cache,
+    )
+    pipeline = Pipeline(program, topology, _initial_of(args.initial), options)
     try:
-        compiled = compile_nes(nes_of_ets(ets), topology)
-    except (ETSConversionError, LocalityError) as exc:
+        compiled = pipeline.compiled
+        tables = compiled.guarded_tables()  # tag-collision check runs here
+    except (ETSConversionError, LocalityError, TagFieldError) as exc:
         print(f"FAIL: {exc}")
         return 1
     print(f"{compiled}\n")
-    for switch, table in sorted(compiled.guarded_tables().items()):
+    for switch, table in sorted(tables.items()):
         print(f"switch {switch} ({len(table)} rules):")
         for rule in table:
             print(f"  {rule!r}")
     print(f"\nforwarding rules: {compiled.forwarding_rule_count()}")
     print(f"stamp rules:      {compiled.stamp_rule_count()}")
     print(f"total:            {compiled.total_rule_count()}")
+    if args.report:
+        print(f"\n{pipeline.report()}")
     return 0
 
 
 def _cmd_optimize(args: argparse.Namespace) -> int:
     program = _load_program(args.program)
     topology = _topology_of(args.topology)
-    ets = build_ets(program, _initial_of(args.initial))
-    compiled = compile_nes(nes_of_ets(ets), topology)
-    result = optimize_compiled_nes(compiled)
+    pipeline = Pipeline(program, topology, _initial_of(args.initial))
+    try:
+        compiled = pipeline.compiled
+        result = optimize_compiled_nes(compiled)
+    except (ETSConversionError, LocalityError, TagFieldError) as exc:
+        print(f"FAIL: {exc}")
+        return 1
     print(f"{'switch':>6s}  {'original':>8s}  {'optimized':>9s}")
     for sw in result.per_switch:
         print(f"{sw.switch:>6d}  {sw.original:>8d}  {sw.optimized:>9d}")
@@ -195,6 +211,29 @@ def build_arg_parser() -> argparse.ArgumentParser:
                         "check the section 3.1 + locality conditions", True)
     add_program_command("compile", _cmd_compile,
                         "compile to guarded flow tables", True)
+    compile_cmd = sub.choices["compile"]
+    compile_cmd.add_argument(
+        "--backend",
+        choices=BACKENDS,
+        default="serial",
+        help="per-configuration compile executor (default: serial)",
+    )
+    compile_cmd.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="persistent artifact cache directory (default: disabled)",
+    )
+    compile_cmd.add_argument(
+        "--no-knowledge-cache",
+        action="store_true",
+        help="disable the per-builder knowledge-predicate FDD cache",
+    )
+    compile_cmd.add_argument(
+        "--report",
+        action="store_true",
+        help="print per-stage pipeline timings and stats",
+    )
     add_program_command("optimize", _cmd_optimize,
                         "report the section 5.3 rule sharing", True)
 

@@ -38,6 +38,16 @@ class Event:
             object.__setattr__(self, "_hash", h)
             return h
 
+    def __getstate__(self):
+        # The cached hash is PYTHONHASHSEED-dependent; pickling it would
+        # make an unpickled event disagree with freshly built equal
+        # events in the loading process.  It is dropped here and lazily
+        # recomputed by __hash__.  (The cached repr is deterministic
+        # text and safe to keep.)
+        state = dict(self.__dict__)
+        state.pop("_hash", None)
+        return state
+
     def matches(self, lp: LocatedPacket) -> bool:
         """``lp |= e``: same location, and the packet satisfies the guard.
 

@@ -339,6 +339,19 @@ class EventStructure(Generic[E]):
                     next_queue.append((sequence + (event,), collected | low))
             queue = next_queue
 
+    def __getstate__(self):
+        # The id()-keyed shadow index holds memory addresses of the
+        # storing process; unpickled they would be stale keys that a new
+        # object's id could collide with, silently encoding an unknown
+        # event to an arbitrary bit.  Rebuilt from the universe on load.
+        state = dict(self.__dict__)
+        state.pop("_index_by_id", None)
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._index_by_id = {id(e): i for i, e in enumerate(self._universe)}
+
     def __repr__(self) -> str:
         return (
             f"EventStructure({len(self._events)} events, "

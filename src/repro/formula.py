@@ -136,6 +136,17 @@ class Formula:
     def __hash__(self) -> int:
         return self._hash
 
+    def __getstate__(self):
+        # Only the literals travel: the cached hash is
+        # PYTHONHASHSEED-dependent, so a pickled value from the storing
+        # process would disagree with hashes computed by the loader.
+        return self._literals
+
+    def __setstate__(self, literals):
+        object.__setattr__(self, "_literals", literals)
+        object.__setattr__(self, "_hash", hash(literals))
+        object.__setattr__(self, "_repr", None)
+
     def __repr__(self) -> str:
         # Formula reprs feed Event.__repr__, the pipeline's sort key.
         if self._repr is None:

@@ -21,6 +21,7 @@ switch steps come from the tables, link steps from the topology.
 
 from __future__ import annotations
 
+import threading
 import weakref
 from dataclasses import dataclass, field, replace
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
@@ -394,9 +395,14 @@ def _at_location_interned(location: Location) -> Predicate:
 # Per-builder knowledge-FDD caches.  The cache lives in this module
 # (the only place that knows Knowledge's (pos, neg) canonical key) and
 # is keyed weakly so a discarded builder releases its cache with it.
+# The outer mapping is shared across the pipeline's worker threads
+# (each with a private builder), so entry creation takes a lock; the
+# inner per-builder dicts are only ever touched by their builder's
+# owning thread.
 _knowledge_caches: "weakref.WeakKeyDictionary[FDDBuilder, Dict[Tuple, FDD]]" = (
     weakref.WeakKeyDictionary()
 )
+_knowledge_caches_lock = threading.Lock()
 
 
 def knowledge_fdd(builder: FDDBuilder, knowledge: Knowledge) -> FDD:
@@ -409,8 +415,11 @@ def knowledge_fdd(builder: FDDBuilder, knowledge: Knowledge) -> FDD:
     """
     cache = _knowledge_caches.get(builder)
     if cache is None:
-        cache = {}
-        _knowledge_caches[builder] = cache
+        with _knowledge_caches_lock:
+            cache = _knowledge_caches.get(builder)
+            if cache is None:
+                cache = {}
+                _knowledge_caches[builder] = cache
     key = (knowledge.pos, knowledge.neg)
     d = cache.get(key)
     if d is None:

@@ -24,8 +24,15 @@ __all__ = [
     "Match",
     "Rule",
     "FlowTable",
+    "TagFieldError",
     "table_of_fdd",
 ]
+
+
+class TagFieldError(ValueError):
+    """The configured tag field collides with a real match field (the
+    section 4.1 construction needs a header field the program does not
+    use)."""
 
 
 @dataclass(frozen=True, order=True)
@@ -76,6 +83,15 @@ class Match:
         object.__setattr__(self, "_entries", tuple(sorted(items.items(), key=lambda kv: kv[0])))
         object.__setattr__(self, "_hash", hash(self._entries))
 
+    def __getstate__(self):
+        # The cached hash is PYTHONHASHSEED-dependent; recompute it in
+        # the loading process instead of pickling it.
+        return self._entries
+
+    def __setstate__(self, entries):
+        object.__setattr__(self, "_entries", entries)
+        object.__setattr__(self, "_hash", hash(entries))
+
     def matches(self, packet: Packet) -> bool:
         for field, constraint in self._entries:
             value = packet.get(field)
@@ -104,6 +120,19 @@ class Match:
         updated = dict(self._entries)
         updated[field] = constraint
         return Match(updated)
+
+    def guarded(self, field: str, constraint: Constraint) -> "Match":
+        """Like :meth:`extended`, but for tag guards: ``field`` must be
+        unused by this match (section 4.1 assumes an unused header
+        field), because extending would silently *overwrite* the real
+        constraint with the guard."""
+        if self.get(field) is not None:
+            raise TagFieldError(
+                f"tag field {field!r} collides with a match field of "
+                f"{self!r}; pick a field the program does not use "
+                "(CompileOptions.tag_field)"
+            )
+        return self.extended(field, constraint)
 
     def without(self, field: str) -> "Match":
         return Match({f: c for f, c in self._entries if f != field})

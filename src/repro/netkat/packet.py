@@ -71,6 +71,15 @@ class Packet:
         object.__setattr__(self, "_fields", tuple(sorted(items.items())))
         object.__setattr__(self, "_hash", hash(self._fields))
 
+    def __getstate__(self):
+        # The cached hash is PYTHONHASHSEED-dependent; recompute it in
+        # the loading process instead of pickling it.
+        return self._fields
+
+    def __setstate__(self, fields):
+        object.__setattr__(self, "_fields", fields)
+        object.__setattr__(self, "_hash", hash(fields))
+
     # -- mapping interface -------------------------------------------------
 
     def __getitem__(self, field: str) -> int:

@@ -66,10 +66,12 @@ class NESOptimization:
         return (self.original - self.optimized) / self.original
 
 
-def guarded_rules_of_trie(root: TrieNode, width: int) -> List[Rule]:
+def guarded_rules_of_trie(
+    root: TrieNode, width: int, tag_field: str = TAG_FIELD
+) -> List[Rule]:
     """Materialize one guarded rule per (node, fresh rule).
 
-    The guard is a PrefixMatch on the tag field: ``depth`` fixed high
+    The guard is a PrefixMatch on ``tag_field``: ``depth`` fixed high
     bits, ``width - depth`` wildcarded low bits.  Priorities are offset
     so that deeper (more specific) guards win; within a node the
     original rule priorities are kept.
@@ -89,7 +91,7 @@ def guarded_rules_of_trie(root: TrieNode, width: int) -> List[Rule]:
             out.append(
                 Rule(
                     priority=rule.priority,
-                    match=rule.match.extended(TAG_FIELD, guard),
+                    match=rule.match.guarded(tag_field, guard),
                     actions=rule.actions,
                 )
             )
@@ -112,7 +114,9 @@ def optimize_compiled_nes(compiled: CompiledNES) -> NESOptimization:
         root = build_trie(ordered)
         optimized = trie_rule_count(root)
         width = (len(ordered)).bit_length() - 1
-        rules = tuple(guarded_rules_of_trie(root, width))
+        rules = tuple(
+            guarded_rules_of_trie(root, width, compiled.options.tag_field)
+        )
         assignment = _leaf_assignment(ordered, configs)
         results.append(
             SwitchOptimization(
@@ -160,6 +164,7 @@ def optimized_table_equivalent(
     """
     from ..netkat.packet import Packet
 
+    tag_field = compiled.options.tag_field
     table = FlowTable(optimization.rules)
     for state, config in compiled.configurations.items():
         config_id = compiled.config_ids[state]
@@ -169,9 +174,9 @@ def optimized_table_equivalent(
         original = config.table(optimization.switch)
         probes = _probe_packets(original)
         for probe in probes:
-            tagged = probe.set(TAG_FIELD, leaf_id)
+            tagged = probe.set(tag_field, leaf_id)
             got = table.apply(tagged)
-            want = {p.set(TAG_FIELD, leaf_id) for p in original.apply(probe)}
+            want = {p.set(tag_field, leaf_id) for p in original.apply(probe)}
             if got != frozenset(want):
                 return False
     return True

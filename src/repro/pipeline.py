@@ -1,0 +1,516 @@
+"""The staged compilation pipeline: program -> ETS -> NES -> flow tables.
+
+The paper's toolchain (Figure 7) is a fixed sequence of stages; this
+module is its single front door.  :class:`CompileOptions` consolidates
+every compiler/FDD/cache knob in one validated, frozen place, and
+:class:`Pipeline` exposes the staged artifacts (:attr:`Pipeline.ets`,
+:attr:`Pipeline.nes`, :attr:`Pipeline.compiled`) lazily, with per-stage
+wall-clock timings and stats available via :meth:`Pipeline.report`.
+
+Two scale axes hang off the options:
+
+- ``backend`` shards the independent per-configuration
+  ``compile_policy`` calls across an executor (``"serial"`` or
+  ``"thread"``); results are gathered in configuration-state order, so
+  the produced tables are byte-identical across backends.
+- ``cache_dir`` enables a content-addressed on-disk artifact cache: the
+  key is a SHA-256 digest of the program AST, the topology, the initial
+  state, every output-affecting option, and the package version (see
+  :meth:`Pipeline.artifact_key`), so a repeated
+  :class:`Pipeline`/``App`` construction
+  skips the ETS/NES/compile stages entirely and unpickles the
+  :class:`~repro.runtime.compiler.CompiledNES` directly.
+
+Execution-only knobs (``backend``, ``max_workers``, ``cache_dir``) are
+deliberately excluded from the cache key: they cannot change the
+artifact bytes (the golden tests in ``tests/test_pipeline.py`` pin
+this), so serial and threaded runs share cache entries.
+
+The rule for future knobs: any new compiler/cache switch lands as a
+:class:`CompileOptions` field (not a loose keyword argument), and ships
+with a byte-identity golden test for its off position.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import os
+import pickle
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, Optional, Sequence, Tuple, Union
+
+from .events.ets_to_nes import nes_of_ets
+from .events.nes import NES
+from .netkat.ast import Policy
+from .netkat.fdd import DEFAULT_FIELD_ORDER, FDDBuilder
+from .runtime.compiler import TAG_FIELD, CompiledNES, compile_nes
+from .stateful.ast import StateVector
+from .stateful.ets import ETS, build_ets
+from .topology import Topology
+
+__all__ = [
+    "BACKENDS",
+    "CompileOptions",
+    "Pipeline",
+    "PipelineReport",
+    "ArtifactCache",
+    "compile_app",
+]
+
+# Executor backends for the per-configuration compile fan-out.  A
+# "process" backend is the designed next step (same seam: deterministic
+# state-ordered gather); it needs picklable compile closures, not a new
+# API.
+BACKENDS: Tuple[str, ...] = ("serial", "thread")
+
+# Bump when the pickled artifact layout changes incompatibly; old cache
+# entries then miss instead of unpickling garbage.
+ARTIFACT_FORMAT = 1
+
+# Options that select *how* the pipeline executes, never *what* it
+# produces; they are excluded from the artifact cache key.
+_EXECUTION_ONLY_FIELDS = frozenset({"backend", "max_workers", "cache_dir"})
+
+
+@dataclass(frozen=True)
+class CompileOptions:
+    """Every compiler/FDD/cache knob, in one validated place.
+
+    Output-affecting knobs (everything except the execution trio
+    ``backend`` / ``max_workers`` / ``cache_dir``) participate in the
+    artifact cache key and must keep their byte-identity golden tests
+    (see module docstring).
+
+    - ``backend``: ``"serial"`` compiles configurations one by one on a
+      single shared :class:`FDDBuilder`; ``"thread"`` shards them across
+      a thread pool with one builder per worker thread (builders are not
+      thread-safe), gathering results in state order.
+    - ``max_workers``: thread-pool width (``None`` = executor default).
+    - ``cache_dir``: directory for the persistent artifact cache;
+      ``None`` (the default) disables it.
+    - ``knowledge_cache``: the per-builder knowledge-predicate FDD cache
+      from the second perf wave; ``False`` recompiles each knowledge
+      predicate from a fresh AST (reference path).
+    - ``ordered_insert``: the ordered-insert ITE strategy in the FDD
+      algebra; ``False`` selects the retained mask/union reference path.
+    - ``ast_memo``: the id-keyed ``of_policy``/``of_predicate`` memos.
+    - ``field_order``: FDD branch-ordering precedence (``sw``/``pt``
+      first keeps per-switch extraction cheap).
+    - ``enforce_locality``: refuse NESs that are not locally determined
+      (Lemma 1) instead of compiling them anyway.
+    - ``tag_field``: the packet metadata field guarding merged tables.
+    - ``max_frontier``: symbolic-knowledge frontier bound per hop.
+    """
+
+    backend: str = "serial"
+    max_workers: Optional[int] = None
+    cache_dir: Optional[Union[str, Path]] = None
+    knowledge_cache: bool = True
+    ordered_insert: bool = True
+    ast_memo: bool = True
+    field_order: Tuple[str, ...] = DEFAULT_FIELD_ORDER
+    enforce_locality: bool = True
+    tag_field: str = TAG_FIELD
+    max_frontier: int = 4096
+
+    def __post_init__(self) -> None:
+        if self.backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {self.backend!r}; choose from {BACKENDS}"
+            )
+        if self.max_workers is not None and self.max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {self.max_workers}")
+        if self.max_frontier < 1:
+            raise ValueError(f"max_frontier must be >= 1, got {self.max_frontier}")
+        if not self.tag_field:
+            raise ValueError("tag_field must be a non-empty field name")
+        object.__setattr__(self, "field_order", tuple(self.field_order))
+        if self.cache_dir is not None:
+            object.__setattr__(
+                self, "cache_dir", Path(self.cache_dir).expanduser()
+            )
+
+    def replace(self, **changes) -> "CompileOptions":
+        """A copy with the given fields changed (re-validated)."""
+        return dataclasses.replace(self, **changes)
+
+    def make_builder(self) -> FDDBuilder:
+        """A fresh :class:`FDDBuilder` configured by these options."""
+        return FDDBuilder.from_options(self)
+
+    def semantic_fingerprint(self) -> str:
+        """Canonical serialization of the output-affecting options."""
+        pairs = tuple(
+            (f.name, getattr(self, f.name))
+            for f in dataclasses.fields(self)
+            if f.name not in _EXECUTION_ONLY_FIELDS
+        )
+        return repr(pairs)
+
+
+# ---------------------------------------------------------------------------
+# Content-addressed artifact cache
+# ---------------------------------------------------------------------------
+
+
+def _topology_fingerprint(topology: Topology) -> str:
+    """Canonical serialization of a topology (links, hosts, switches)."""
+    links = tuple((str(src), str(dst)) for src, dst in topology.links())
+    hosts = tuple((h.name, str(h.attachment)) for h in topology.hosts)
+    switches = tuple(sorted(topology.switches))
+    return repr((links, hosts, switches))
+
+
+def artifact_digest(
+    program: Policy,
+    topology: Topology,
+    initial_state: StateVector,
+    options: CompileOptions,
+) -> str:
+    """The content address of one compiled artifact.
+
+    Every AST node has a canonical, structure-complete ``repr``, so the
+    program is digested through it; the topology through its sorted
+    link/host/switch serialization; the options through their
+    output-affecting fields only (module docstring).  The package
+    version is folded in too, so a persistent ``cache_dir`` carried
+    across an upgrade misses rather than serving tables compiled by an
+    older (possibly since-fixed) compiler.
+    """
+    from . import __version__
+
+    h = hashlib.sha256()
+    for part in (
+        f"repro-artifact-v{ARTIFACT_FORMAT}",
+        f"repro-{__version__}",
+        repr(program),
+        _topology_fingerprint(topology),
+        repr(tuple(initial_state)),
+        options.semantic_fingerprint(),
+    ):
+        h.update(part.encode())
+        h.update(b"\x00")
+    return h.hexdigest()
+
+
+class ArtifactCache:
+    """Pickled :class:`CompiledNES` artifacts under ``root/<digest>.pkl``.
+
+    Writes go through a temp file + :func:`os.replace`, so concurrent
+    pipelines racing on one key leave a complete artifact.  Unreadable
+    or corrupt entries load as misses (and are overwritten by the next
+    store), never as errors.
+
+    .. warning:: Artifacts are pickles, and unpickling executes code
+       from the file.  Point ``cache_dir`` only at directories whose
+       writers you trust (your own machine, your own CI job) — never at
+       a world-writable or untrusted shared path.
+    """
+
+    def __init__(self, root: Union[str, Path]):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def path(self, key: str) -> Path:
+        return self.root / f"{key}.pkl"
+
+    def load(self, key: str) -> Optional[CompiledNES]:
+        try:
+            with open(self.path(key), "rb") as handle:
+                artifact = pickle.load(handle)
+        except FileNotFoundError:
+            return None
+        except Exception:
+            return None  # corrupt/truncated entry: recompile over it
+        return artifact if isinstance(artifact, CompiledNES) else None
+
+    def store(self, key: str, compiled: CompiledNES) -> Path:
+        target = self.path(key)
+        tmp = target.with_name(
+            f"{target.name}.tmp{os.getpid()}.{threading.get_ident()}"
+        )
+        try:
+            with open(tmp, "wb") as handle:
+                pickle.dump(compiled, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, target)
+        except BaseException:
+            tmp.unlink(missing_ok=True)
+            raise
+        return target
+
+
+# ---------------------------------------------------------------------------
+# The pipeline façade
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PipelineReport:
+    """Per-stage wall-clock timings and artifact stats for one pipeline.
+
+    Only stages that actually ran appear in ``stage_seconds``; a warm
+    artifact-cache hit runs just the ``compile`` stage (the load), and
+    ``artifact_cache`` records ``"hit"``/``"miss"`` (``None`` when the
+    cache is disabled).
+    """
+
+    stage_seconds: Tuple[Tuple[str, float], ...]
+    stats: Tuple[Tuple[str, int], ...]
+    backend: str
+    artifact_cache: Optional[str]
+
+    def stage(self, name: str) -> Optional[float]:
+        return dict(self.stage_seconds).get(name)
+
+    def total_seconds(self) -> float:
+        return sum(seconds for _, seconds in self.stage_seconds)
+
+    def __str__(self) -> str:
+        lines = [f"pipeline backend={self.backend}"
+                 + (f" artifact_cache={self.artifact_cache}"
+                    if self.artifact_cache else "")]
+        for name, seconds in self.stage_seconds:
+            lines.append(f"  stage {name:<8s} {seconds:.6f}s")
+        for name, value in self.stats:
+            lines.append(f"  {name:<22s} {value}")
+        return "\n".join(lines)
+
+
+class Pipeline:
+    """The staged toolchain of Figure 7 behind one façade.
+
+    Stages are computed lazily and at most once::
+
+        pipeline = Pipeline(program, topology, (0,), CompileOptions())
+        pipeline.ets        # Stateful NetKAT -> event-driven transition system
+        pipeline.nes        # ETS -> network event structure
+        pipeline.compiled   # NES -> CompiledNES (tags + guarded tables)
+        print(pipeline.report())
+
+    With ``options.cache_dir`` set, :attr:`compiled` first consults the
+    content-addressed artifact cache and, on a hit, skips the ETS and
+    NES stages entirely (the NES is recovered from the artifact itself).
+    """
+
+    def __init__(
+        self,
+        program: Policy,
+        topology: Topology,
+        initial_state: Iterable[int],
+        options: Optional[CompileOptions] = None,
+    ):
+        self.program = program
+        self.topology = topology
+        self.initial_state: StateVector = tuple(initial_state)
+        self.options = options if options is not None else CompileOptions()
+        self._ets: Optional[ETS] = None
+        self._nes: Optional[NES] = None
+        self._compiled: Optional[CompiledNES] = None
+        self._stage_seconds: Dict[str, float] = {}
+        self._artifact_cache_state: Optional[str] = None
+        self._artifact_key: Optional[str] = None
+        self._cache: Optional[ArtifactCache] = None
+        self._cache_resolved = False
+
+    # -- staged artifacts ---------------------------------------------------
+
+    @property
+    def ets(self) -> ETS:
+        if self._ets is None:
+            start = time.perf_counter()
+            self._ets = build_ets(self.program, self.initial_state)
+            self._stage_seconds["ets"] = time.perf_counter() - start
+        return self._ets
+
+    @property
+    def nes(self) -> NES:
+        if self._nes is None:
+            if self._compiled is None:
+                # A warm artifact carries its NES, so consult the cache
+                # before paying for the ETS and NES stages.  (The ETS is
+                # not part of the artifact; pipeline.ets always builds.)
+                self._load_artifact()
+            if self._compiled is not None:
+                self._nes = self._compiled.nes
+            else:
+                ets = self.ets
+                start = time.perf_counter()
+                self._nes = nes_of_ets(ets)
+                self._stage_seconds["nes"] = time.perf_counter() - start
+        return self._nes
+
+    @property
+    def compiled(self) -> CompiledNES:
+        if self._compiled is None:
+            self._load_artifact()
+        if self._compiled is None:
+            nes = self.nes
+            start = time.perf_counter()
+            self._compiled = compile_nes(nes, self.topology, options=self.options)
+            self._stage_seconds["compile"] = time.perf_counter() - start
+            cache = self._artifact_cache()
+            if cache is not None:
+                try:
+                    cache.store(self.artifact_key(), self._compiled)
+                except Exception:
+                    # The cache is an accelerator, never a gate: a full
+                    # or unwritable cache_dir, or an artifact pickle
+                    # failure, must not discard a compile that already
+                    # succeeded.
+                    pass
+        return self._compiled
+
+    def _load_artifact(self) -> None:
+        """Populate ``_compiled`` from the artifact cache on a hit.
+
+        Consulted at most once per pipeline (the hit/miss verdict is
+        recorded either way); a no-op when the cache is disabled.
+        """
+        if self._artifact_cache_state is not None:
+            return
+        cache = self._artifact_cache()
+        if cache is None:
+            return
+        start = time.perf_counter()
+        loaded = cache.load(self.artifact_key())
+        if loaded is not None:
+            # The artifact was stored under possibly different
+            # execution-only options (they are excluded from the key);
+            # stamp in this run's, so compiled.options reflects how
+            # *this* pipeline executes, not how the storing one did.
+            loaded.options = loaded.options.replace(
+                **{
+                    name: getattr(self.options, name)
+                    for name in _EXECUTION_ONLY_FIELDS
+                }
+            )
+            self._compiled = loaded
+            self._artifact_cache_state = "hit"
+            self._stage_seconds["compile"] = time.perf_counter() - start
+        else:
+            self._artifact_cache_state = "miss"
+
+    def guarded_tables(self, tag_field: Optional[str] = None):
+        """The deployable merged tables of the compiled artifact
+        (guarded by ``tag_field``, default ``options.tag_field``)."""
+        return self.compiled.guarded_tables(tag_field)
+
+    # -- artifact cache -----------------------------------------------------
+
+    def artifact_key(self) -> str:
+        """The content address of this pipeline's compiled artifact.
+
+        Memoized: the inputs are immutable, and digesting the full
+        program repr is not free.
+        """
+        if self._artifact_key is None:
+            self._artifact_key = artifact_digest(
+                self.program, self.topology, self.initial_state, self.options
+            )
+        return self._artifact_key
+
+    def _artifact_cache(self) -> Optional[ArtifactCache]:
+        if not self._cache_resolved:
+            self._cache_resolved = True
+            if self.options.cache_dir is not None:
+                try:
+                    self._cache = ArtifactCache(self.options.cache_dir)
+                except OSError:
+                    # An uncreatable cache_dir (read-only filesystem,
+                    # bad parent) disables the cache; it never aborts
+                    # the compile.
+                    self._cache = None
+        return self._cache
+
+    # -- reporting ----------------------------------------------------------
+
+    def report(self) -> PipelineReport:
+        """Timings and stats for the stages that have run so far."""
+        stats: Dict[str, int] = {}
+        if self._ets is not None:
+            stats["ets_states"] = len(self._ets.states())
+            stats["ets_edges"] = len(self._ets.edges)
+        if self._nes is not None:
+            stats["nes_events"] = len(self._nes.events)
+            stats["nes_event_sets"] = len(self._nes.event_sets())
+        if self._compiled is not None:
+            compiled = self._compiled
+            stats["configurations"] = len(compiled.states)
+            # config_rule_count, not forwarding_rule_count: a report
+            # stays a cheap observer instead of forcing the merge.
+            forwarding = compiled.config_rule_count()
+            stats["forwarding_rules"] = forwarding
+            stats["total_rules"] = forwarding + compiled.stamp_rule_count()
+        order = {"ets": 0, "nes": 1, "compile": 2}
+        timings = tuple(
+            sorted(self._stage_seconds.items(), key=lambda kv: order[kv[0]])
+        )
+        return PipelineReport(
+            stage_seconds=timings,
+            stats=tuple(stats.items()),
+            backend=self.options.backend,
+            artifact_cache=self._artifact_cache_state,
+        )
+
+    def __repr__(self) -> str:
+        ran = [name for name, _ in self.report().stage_seconds]
+        return (
+            f"Pipeline(backend={self.options.backend!r}, "
+            f"stages_run={ran or '[]'})"
+        )
+
+
+def compile_app(
+    program_or_app,
+    topology: Optional[Topology] = None,
+    initial_state: Optional[Sequence[int]] = None,
+    options: Optional[CompileOptions] = None,
+    **option_overrides,
+) -> CompiledNES:
+    """One call from a program (or an :class:`~repro.apps.base.App`) to a
+    :class:`CompiledNES`.
+
+    Either pass ``(program, topology, initial_state)`` explicitly, or a
+    single app-like object carrying those attributes.  Keyword overrides
+    are :class:`CompileOptions` fields::
+
+        compiled = repro.compile_app(app, backend="thread",
+                                     cache_dir="~/.cache/repro")
+    """
+    if hasattr(program_or_app, "program"):
+        app = program_or_app
+        if topology is not None or initial_state is not None:
+            raise TypeError(
+                "compile_app(app, ...) uses the app's own topology and "
+                "initial_state; pass (program, topology, initial_state) "
+                "explicitly to override them"
+            )
+        if (
+            options is None
+            and not option_overrides
+            and hasattr(app, "pipeline")
+        ):
+            # Reuse the app's own pipeline: the compile work (and the
+            # stage report) are shared with later app.ets/nes/compiled.
+            return app.pipeline.compiled
+        program = app.program
+        topology = app.topology
+        initial_state = app.initial_state
+        if options is None:
+            options = getattr(app, "options", None)
+    else:
+        program = program_or_app
+        if topology is None or initial_state is None:
+            raise TypeError(
+                "compile_app needs (program, topology, initial_state) "
+                "or a single app-like object"
+            )
+    if options is None:
+        options = CompileOptions()
+    if option_overrides:
+        options = options.replace(**option_overrides)
+    return Pipeline(program, topology, initial_state, options).compiled

@@ -17,6 +17,9 @@ so total rule counts include them.
 
 from __future__ import annotations
 
+import threading
+import warnings
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Tuple
 
@@ -35,6 +38,63 @@ __all__ = ["TAG_FIELD", "CompiledNES", "LocalityError", "compile_nes"]
 # (guarded) tables; a single unused header field, as section 4.1 argues.
 TAG_FIELD = "tag"
 
+# Sentinel distinguishing "caller passed knowledge_cache explicitly"
+# (deprecated, folded into CompileOptions) from the default.
+_UNSET = object()
+
+
+def _default_options():
+    # Imported lazily: repro.pipeline imports this module at load time.
+    from ..pipeline import CompileOptions
+
+    return CompileOptions()
+
+
+def _compile_configurations(
+    nes: NES,
+    topology: Topology,
+    states: Tuple[StateVector, ...],
+    builder: FDDBuilder,
+    options,
+    shard: bool,
+) -> Dict[StateVector, Configuration]:
+    """Compile every configuration, optionally sharded across threads.
+
+    The per-state compiles are independent (the ROADMAP scale axis), so
+    the thread backend fans them out over a pool with one private
+    :class:`FDDBuilder` per worker thread -- builders are not
+    thread-safe, and compiled tables are a pure function of the policy
+    and field order, never of builder memo warmth, so private builders
+    keep the output byte-identical to the serial path.  Results are
+    gathered in configuration-state order (``executor.map`` preserves
+    input order), so iteration order is deterministic too.
+    """
+
+    def compile_with(b: FDDBuilder, state: StateVector) -> Configuration:
+        return compile_policy(
+            nes.configuration_policy(state),
+            topology,
+            builder=b,
+            name=f"C{list(state)}",
+            knowledge_cache=options.knowledge_cache,
+            max_frontier=options.max_frontier,
+        )
+
+    if shard and options.backend == "thread" and len(states) > 1:
+        local = threading.local()
+
+        def worker(state: StateVector) -> Configuration:
+            worker_builder = getattr(local, "builder", None)
+            if worker_builder is None:
+                worker_builder = options.make_builder()
+                local.builder = worker_builder
+            return compile_with(worker_builder, state)
+
+        with ThreadPoolExecutor(max_workers=options.max_workers) as pool:
+            configs = list(pool.map(worker, states))
+        return dict(zip(states, configs))
+    return {state: compile_with(builder, state) for state in states}
+
 
 class LocalityError(Exception):
     """The NES is not locally determined, so it cannot be implemented
@@ -49,12 +109,40 @@ class CompiledNES:
         nes: NES,
         topology: Topology,
         builder: Optional[FDDBuilder] = None,
-        knowledge_cache: bool = True,
+        knowledge_cache=_UNSET,
+        options=None,
     ):
+        """Compile ``nes`` over ``topology`` under ``options``.
+
+        ``options`` is a :class:`repro.pipeline.CompileOptions` (default
+        constructed when omitted).  With ``options.backend == "thread"``
+        the independent per-configuration compiles are sharded across a
+        thread pool; passing an explicit ``builder`` forces the serial
+        path, because a caller-owned builder cannot be shared across
+        worker threads.
+
+        ``knowledge_cache=`` is deprecated; use
+        ``CompileOptions(knowledge_cache=...)``.
+        """
+        if knowledge_cache is not _UNSET:
+            warnings.warn(
+                "CompiledNES(knowledge_cache=...) is deprecated; pass "
+                "repro.pipeline.CompileOptions(knowledge_cache=...) as "
+                "options= instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+        if options is None:
+            options = _default_options()
+        if knowledge_cache is not _UNSET:
+            options = options.replace(knowledge_cache=knowledge_cache)
+        self.options = options
         self.nes = nes
         self.topology = topology
-        self._builder = builder or FDDBuilder()
-        self._guarded_tables: Optional[Dict[int, FlowTable]] = None
+        self._builder = builder or options.make_builder()
+        # Merged-table memo, keyed per tag field (one slot per options
+        # variant a caller has asked for, never a single shared slot).
+        self._guarded_tables: Dict[str, Dict[int, FlowTable]] = {}
 
         # Step 1: flat integer encodings.
         self.states: Tuple[StateVector, ...] = nes.configuration_states()
@@ -71,17 +159,15 @@ class CompiledNES:
         # by repr), so digests and the locality engine agree bit-for-bit.
         self.event_bits: Dict[Event, int] = dict(nes.structure.event_index)
 
-        # Step 2: compile every configuration.
-        self.configurations: Dict[StateVector, Configuration] = {
-            state: compile_policy(
-                nes.configuration_policy(state),
-                topology,
-                builder=self._builder,
-                name=f"C{list(state)}",
-                knowledge_cache=knowledge_cache,
+        # Step 2: compile every configuration (sharded when the options
+        # select the thread backend and no caller-owned builder pins us
+        # to the serial path).
+        self.configurations: Dict[StateVector, Configuration] = (
+            _compile_configurations(
+                nes, topology, self.states, self._builder, options,
+                shard=builder is None,
             )
-            for state in self.states
-        }
+        )
 
     # -- tag and digest encodings ----------------------------------------------
 
@@ -106,44 +192,86 @@ class CompiledNES:
 
     # -- step 3: guarded merged tables ------------------------------------------
 
-    def guarded_tables(self) -> Dict[int, FlowTable]:
+    def guarded_tables(self, tag_field: Optional[str] = None) -> Dict[int, FlowTable]:
         """One deployable table per switch: every configuration's rules,
-        each guarded by its configuration tag.
+        each guarded by its configuration tag in ``tag_field`` (default:
+        ``options.tag_field``).
 
         Priorities are partitioned per configuration; tags make the
         partitions disjoint, so relative priorities within each
         configuration are preserved.
 
         The merged tables are memoized (``forwarding_rule_count``, repr,
-        and the runtime all re-derive them); a fresh dict over the
+        and the runtime all re-derive them) *per tag field*: a single
+        memo slot would hand the tables of whichever variant was
+        computed first to every later caller.  A fresh dict over the
         immutable :class:`FlowTable` values is returned each call, so
         callers may mutate the mapping without corrupting the cache.  Use
         :meth:`invalidate_guarded_tables` after replacing a
         configuration in ``self.configurations``.
         """
-        if self._guarded_tables is None:
+        field_name = tag_field if tag_field is not None else self.options.tag_field
+        memo = self._guarded_tables.get(field_name)
+        if memo is None:
             tables: Dict[int, List[Rule]] = {n: [] for n in self.topology.switches}
             for state in self.states:
                 config_id = self.config_ids[state]
                 config = self.configurations[state]
                 for switch, table in config.tables.items():
                     for rule in table:
-                        guarded_match = rule.match.extended(TAG_FIELD, config_id)
+                        guarded_match = rule.match.guarded(field_name, config_id)
                         tables.setdefault(switch, []).append(
                             Rule(rule.priority, guarded_match, rule.actions)
                         )
-            self._guarded_tables = {
-                n: FlowTable(rules) for n, rules in tables.items()
-            }
-        return dict(self._guarded_tables)
+            memo = {n: FlowTable(rules) for n, rules in tables.items()}
+            self._guarded_tables[field_name] = memo
+        return dict(memo)
 
     def invalidate_guarded_tables(self) -> None:
-        """Drop the memoized merged tables (rebuilt on next access)."""
-        self._guarded_tables = None
+        """Drop every memoized merged-table variant (rebuilt on access)."""
+        self._guarded_tables.clear()
+
+    # -- persistence ------------------------------------------------------------
+
+    def __getstate__(self):
+        """Pickle without the merged-table memo or the builder.
+
+        The pipeline's artifact cache persists compiled NESs; shipping
+        the derived tables would bloat artifacts and could resurrect
+        tables a caller had explicitly invalidated.  The builder is
+        dropped too: its ``of_policy``/``of_predicate`` memos are keyed
+        by ``id()`` of AST nodes from the storing process, which after
+        unpickling are stale addresses a fresh object could collide
+        with — a loaded artifact gets a fresh builder instead.
+        """
+        state = dict(self.__dict__)
+        state["_guarded_tables"] = {}
+        state["_builder"] = None
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        if self._builder is None:
+            self._builder = self.options.make_builder()
 
     def forwarding_rule_count(self) -> int:
         """Rules in the guarded merged tables (steps 1-3)."""
         return sum(len(t) for t in self.guarded_tables().values())
+
+    def config_rule_count(self) -> int:
+        """Forwarding rules summed per configuration, without forcing
+        the guarded merge.
+
+        The merge keeps exactly one rule per (configuration, rule), so
+        this equals :meth:`forwarding_rule_count` — but stays cheap and
+        total (the merge raises on a colliding tag field); repr and
+        :meth:`Pipeline.report` use it to remain plain observers.
+        """
+        return sum(
+            len(table)
+            for config in self.configurations.values()
+            for table in config.tables.values()
+        )
 
     def stamp_rule_count(self) -> int:
         """Rules implementing ingress stamping (step 4).
@@ -172,7 +300,7 @@ class CompiledNES:
         return (
             f"CompiledNES({len(self.states)} configurations, "
             f"{len(self.nes.events)} events, "
-            f"{self.total_rule_count()} rules)"
+            f"{self.config_rule_count() + self.stamp_rule_count()} rules)"
         )
 
 
@@ -180,16 +308,33 @@ def compile_nes(
     nes: NES,
     topology: Topology,
     builder: Optional[FDDBuilder] = None,
-    enforce_locality: bool = True,
-    knowledge_cache: bool = True,
+    enforce_locality=_UNSET,
+    knowledge_cache=_UNSET,
+    options=None,
 ) -> CompiledNES:
     """Compile an NES, first checking the locally-determined condition.
 
     Implementations of non-locally-determined NESs must synchronize or
     buffer (Lemma 1), which this runtime does not do -- so by default
-    compilation refuses them.
+    compilation refuses them.  ``options`` is a
+    :class:`repro.pipeline.CompileOptions`; ``enforce_locality=`` as a
+    direct keyword still works, and ``knowledge_cache=`` is deprecated
+    in favor of the options object.
     """
-    if enforce_locality:
+    if options is None:
+        options = _default_options()
+    if knowledge_cache is not _UNSET:
+        warnings.warn(
+            "compile_nes(knowledge_cache=...) is deprecated; pass "
+            "repro.pipeline.CompileOptions(knowledge_cache=...) as "
+            "options= instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        options = options.replace(knowledge_cache=knowledge_cache)
+    if enforce_locality is not _UNSET:
+        options = options.replace(enforce_locality=enforce_locality)
+    if options.enforce_locality:
         violations = locality_violations(nes)
         if violations:
             sample = next(iter(violations))
@@ -198,4 +343,4 @@ def compile_nes(
                 f"set {set(sample)} spans multiple switches "
                 f"({len(violations)} violation(s) total)"
             )
-    return CompiledNES(nes, topology, builder=builder, knowledge_cache=knowledge_cache)
+    return CompiledNES(nes, topology, builder=builder, options=options)

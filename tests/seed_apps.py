@@ -1,0 +1,36 @@
+"""Shared helpers for the byte-identity golden tests.
+
+One definition of the seven seed applications and of the canonical
+guarded-table serialization, imported by both
+``test_compiler_caching.py`` (cache off-switches) and
+``test_pipeline.py`` (backend/cache/façade identity) — so adding a seed
+app or changing the serialization updates every golden suite at once.
+"""
+
+from repro.apps import (
+    authentication_app,
+    bandwidth_cap_app,
+    firewall_app,
+    ids_app,
+    learning_multi_app,
+    learning_switch_app,
+    ring_app,
+)
+from repro.runtime.compiler import CompiledNES
+
+APPS = (
+    ("firewall", firewall_app),
+    ("ids", ids_app),
+    ("authentication", authentication_app),
+    ("ring", lambda: ring_app(4)),
+    ("bandwidth_cap", bandwidth_cap_app),
+    ("learning_switch", learning_switch_app),
+    ("learning_multi", learning_multi_app),
+)
+
+
+def guarded_bytes(compiled: CompiledNES) -> bytes:
+    """A canonical byte serialization of the guarded merged tables."""
+    tables = compiled.guarded_tables()
+    lines = [f"switch {sw}:\n{tables[sw]!r}" for sw in sorted(tables)]
+    return "\n".join(lines).encode()

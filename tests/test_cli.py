@@ -74,6 +74,51 @@ class TestCompile:
         assert main(["compile", nonlocal_file, "--topology", "star"]) == 1
         assert "FAIL" in capsys.readouterr().out
 
+    def test_program_matching_on_tag_field_fails_cleanly(self, tmp_path, capsys):
+        # The parser accepts "tag" as a field; guarding would overwrite
+        # it, so both merge paths refuse with FAIL, not a traceback.
+        clash = tmp_path / "clash.snk"
+        clash.write_text("tag=1; pt<-2\n")
+        assert main(["compile", str(clash), "--topology", "firewall"]) == 1
+        assert "collides" in capsys.readouterr().out
+        assert main(["optimize", str(clash), "--topology", "firewall"]) == 1
+        assert "collides" in capsys.readouterr().out
+
+    def test_thread_backend_matches_serial(self, firewall_file, capsys):
+        assert main(["compile", firewall_file, "--topology", "firewall"]) == 0
+        serial = capsys.readouterr().out
+        assert main(["compile", firewall_file, "--topology", "firewall",
+                     "--backend", "thread"]) == 0
+        assert capsys.readouterr().out == serial
+
+    def test_no_knowledge_cache_matches_default(self, firewall_file, capsys):
+        assert main(["compile", firewall_file, "--topology", "firewall"]) == 0
+        default = capsys.readouterr().out
+        assert main(["compile", firewall_file, "--topology", "firewall",
+                     "--no-knowledge-cache"]) == 0
+        assert capsys.readouterr().out == default
+
+    def test_report_prints_stage_timings(self, firewall_file, capsys):
+        assert main(["compile", firewall_file, "--topology", "firewall",
+                     "--report"]) == 0
+        out = capsys.readouterr().out
+        assert "stage ets" in out and "stage nes" in out
+        assert "stage compile" in out
+
+    def test_cache_dir_warm_hit(self, firewall_file, tmp_path, capsys):
+        cache = str(tmp_path / "artifacts")
+        assert main(["compile", firewall_file, "--topology", "firewall",
+                     "--cache-dir", cache, "--report"]) == 0
+        cold = capsys.readouterr().out
+        assert "artifact_cache=miss" in cold
+        assert main(["compile", firewall_file, "--topology", "firewall",
+                     "--cache-dir", cache, "--report"]) == 0
+        warm = capsys.readouterr().out
+        assert "artifact_cache=hit" in warm
+        assert "stage ets" not in warm  # warm hit skips the front stages
+        # The tables themselves are identical either way.
+        assert cold.split("pipeline")[0] == warm.split("pipeline")[0]
+
 
 class TestOptimize:
     def test_reports_savings(self, firewall_file, capsys):

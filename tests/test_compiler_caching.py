@@ -2,8 +2,8 @@
 
 The ordered-insert ITE strategy in the FDD algebra and the per-builder
 knowledge-FDD cache in the path compiler are pure optimizations; both
-can be switched off (``FDDBuilder(ordered_insert=False)``,
-``knowledge_cache=False``), and this module asserts the guarded tables
+can be switched off (``CompileOptions(ordered_insert=False,
+knowledge_cache=False)``), and this module asserts the guarded tables
 they produce are byte-identical on every seed application.  It also
 covers the memoized ``CompiledNES.guarded_tables``: cache reuse,
 defensive copies, and explicit invalidation.
@@ -11,45 +11,21 @@ defensive copies, and explicit invalidation.
 
 import pytest
 
-from repro.apps import (
-    authentication_app,
-    bandwidth_cap_app,
-    firewall_app,
-    ids_app,
-    learning_multi_app,
-    learning_switch_app,
-    ring_app,
-)
+from repro import CompileOptions
+from repro.apps import bandwidth_cap_app, firewall_app, ids_app
 from repro.netkat.compiler import Knowledge, knowledge_fdd
 from repro.netkat.fdd import FDDBuilder
 from repro.runtime.compiler import CompiledNES
 
-APPS = (
-    ("firewall", firewall_app),
-    ("ids", ids_app),
-    ("authentication", authentication_app),
-    ("ring", lambda: ring_app(4)),
-    ("bandwidth_cap", bandwidth_cap_app),
-    ("learning_switch", learning_switch_app),
-    ("learning_multi", learning_multi_app),
-)
-
-
-def guarded_bytes(compiled: CompiledNES) -> bytes:
-    """A canonical byte serialization of the guarded merged tables."""
-    tables = compiled.guarded_tables()
-    lines = [f"switch {sw}:\n{tables[sw]!r}" for sw in sorted(tables)]
-    return "\n".join(lines).encode()
+from seed_apps import APPS, guarded_bytes
 
 
 def reference_compile(app) -> CompiledNES:
     """Recompile with every perf-wave cache disabled."""
-    return CompiledNES(
-        app.nes,
-        app.topology,
-        builder=FDDBuilder(ordered_insert=False, ast_memo=False),
-        knowledge_cache=False,
+    options = CompileOptions(
+        ordered_insert=False, ast_memo=False, knowledge_cache=False
     )
+    return CompiledNES(app.nes, app.topology, options=options)
 
 
 @pytest.mark.parametrize("name,make", APPS, ids=[name for name, _ in APPS])

@@ -9,6 +9,11 @@ import pytest
 EXAMPLES = sorted((Path(__file__).parent.parent / "examples").glob("*.py"))
 
 
+# Scripts ported to the Pipeline façade must actually exercise it: the
+# per-stage report ends up in their output.
+PIPELINE_EXAMPLES = {"quickstart.py", "custom_app.py"}
+
+
 @pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
 def test_example_runs(script):
     args = [sys.executable, str(script)]
@@ -19,3 +24,6 @@ def test_example_runs(script):
     )
     assert result.returncode == 0, result.stderr
     assert result.stdout.strip()
+    if script.name in PIPELINE_EXAMPLES:
+        for marker in ("stage ets", "stage nes", "stage compile"):
+            assert marker in result.stdout, f"{script.name} lost the report"

@@ -1,0 +1,479 @@
+"""Golden tests for the staged pipeline façade.
+
+The pipeline's scale knobs must be invisible in the output: the thread
+backend, the persistent artifact cache (cold and warm), and the façade
+itself all have to produce guarded tables byte-identical to the legacy
+direct ``build_ets -> nes_of_ets -> compile_nes`` path, on every seed
+application.  The deprecation shims must keep old spellings working --
+with a warning -- and identical results.
+"""
+
+import pickle
+import warnings
+from pathlib import Path
+
+import pytest
+
+from repro import CompileOptions, Pipeline, compile_app
+from repro.apps import bandwidth_cap_app, firewall_app, ids_app
+from repro.events.ets_to_nes import nes_of_ets
+from repro.netkat.fdd import FDDBuilder
+from repro.pipeline import ArtifactCache, artifact_digest
+from repro.runtime.compiler import CompiledNES, compile_nes
+from repro.stateful.ets import build_ets
+
+from seed_apps import APPS, guarded_bytes
+
+
+def legacy_compile(app) -> CompiledNES:
+    """The pre-pipeline entry points, chained by hand."""
+    ets = build_ets(app.program, app.initial_state)
+    return compile_nes(nes_of_ets(ets), app.topology)
+
+
+# ---------------------------------------------------------------------------
+# Byte-identity goldens: backend x cache x façade, on all seven seed apps
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("name,make", APPS, ids=[name for name, _ in APPS])
+def test_backends_cache_and_facade_byte_identical(name, make, tmp_path):
+    app = make()
+    reference = guarded_bytes(legacy_compile(app))
+
+    serial = Pipeline(app.program, app.topology, app.initial_state)
+    assert guarded_bytes(serial.compiled) == reference
+
+    threaded = Pipeline(
+        app.program,
+        app.topology,
+        app.initial_state,
+        CompileOptions(backend="thread", max_workers=4),
+    )
+    assert guarded_bytes(threaded.compiled) == reference
+
+    cached = CompileOptions(cache_dir=tmp_path / "cache")
+    cold = Pipeline(app.program, app.topology, app.initial_state, cached)
+    assert guarded_bytes(cold.compiled) == reference
+    assert cold.report().artifact_cache == "miss"
+
+    warm = Pipeline(app.program, app.topology, app.initial_state, cached)
+    assert guarded_bytes(warm.compiled) == reference
+    assert warm.report().artifact_cache == "hit"
+
+
+def test_app_facade_matches_legacy():
+    app = firewall_app()
+    assert guarded_bytes(app.compiled) == guarded_bytes(legacy_compile(app))
+    # The app's staged artifacts are the pipeline's.
+    assert app.compiled is app.pipeline.compiled
+    assert app.nes is app.pipeline.nes
+    # The façade's table accessor forwards the tag_field override.
+    assert app.pipeline.guarded_tables() == app.compiled.guarded_tables()
+    custom = app.pipeline.guarded_tables(tag_field="cfg")
+    rules = [r for t in custom.values() for r in t]
+    assert rules and all(r.match.get("cfg") is not None for r in rules)
+
+
+# ---------------------------------------------------------------------------
+# The artifact cache
+# ---------------------------------------------------------------------------
+
+
+class TestArtifactCache:
+    def test_warm_hit_skips_ets_and_nes_stages(self, tmp_path):
+        app = firewall_app()
+        options = CompileOptions(cache_dir=tmp_path)
+        Pipeline(app.program, app.topology, app.initial_state, options).compiled
+
+        warm = Pipeline(app.program, app.topology, app.initial_state, options)
+        warm.compiled
+        stages = [name for name, _ in warm.report().stage_seconds]
+        assert stages == ["compile"]
+        # The NES is recovered from the artifact, not rebuilt.
+        assert warm.nes is warm.compiled.nes
+        assert [name for name, _ in warm.report().stage_seconds] == ["compile"]
+        # Execution-only fields reflect this run, not the storing one:
+        # backends share cache entries, so a serial load of a
+        # thread-stored artifact must not claim backend="thread".
+        threaded_store = CompileOptions(backend="thread", cache_dir=tmp_path)
+        Pipeline(
+            app.program, app.topology, app.initial_state, threaded_store
+        ).compiled
+        serial_load = Pipeline(
+            app.program, app.topology, app.initial_state, options
+        )
+        assert serial_load.compiled.options.backend == "serial"
+        assert serial_load.compiled.options.cache_dir == options.cache_dir
+
+    def test_warm_hit_serves_nes_without_building_the_ets(self, tmp_path):
+        app = firewall_app()
+        options = CompileOptions(cache_dir=tmp_path)
+        Pipeline(app.program, app.topology, app.initial_state, options).compiled
+
+        warm = Pipeline(app.program, app.topology, app.initial_state, options)
+        # Touching .nes first (the examples do) must still hit the cache
+        # rather than paying for the ETS and NES stages.
+        nes = warm.nes
+        assert warm.report().artifact_cache == "hit"
+        stages = [name for name, _ in warm.report().stage_seconds]
+        assert stages == ["compile"]
+        assert nes is warm.compiled.nes
+
+    def test_uncreatable_cache_dir_disables_the_cache(self, tmp_path, monkeypatch):
+        app = firewall_app()
+        options = CompileOptions(cache_dir=tmp_path / "cache")
+
+        def broken_init(self, root):
+            raise OSError("read-only filesystem")
+
+        monkeypatch.setattr(ArtifactCache, "__init__", broken_init)
+        pipeline = Pipeline(app.program, app.topology, app.initial_state, options)
+        assert guarded_bytes(pipeline.compiled) == guarded_bytes(
+            legacy_compile(app)
+        )
+        assert pipeline.report().artifact_cache is None
+
+    def test_artifact_survives_a_different_hash_seed(self, tmp_path):
+        """Events/formulas cache PYTHONHASHSEED-dependent hashes; a warm
+        artifact stored under another seed must still interoperate with
+        freshly built equal events in this process."""
+        import os
+        import subprocess
+        import sys
+
+        store = (
+            "from repro import CompileOptions, Pipeline\n"
+            "from repro.apps import firewall_app\n"
+            "app = firewall_app()\n"
+            f"opts = CompileOptions(cache_dir={str(tmp_path)!r})\n"
+            "Pipeline(app.program, app.topology, app.initial_state, opts).compiled\n"
+        )
+        env = dict(os.environ, PYTHONHASHSEED="12345")
+        env["PYTHONPATH"] = str(
+            Path(__file__).parent.parent / "src"
+        )
+        subprocess.run(
+            [sys.executable, "-c", store], env=env, check=True, timeout=120
+        )
+
+        app = firewall_app()
+        opts = CompileOptions(cache_dir=tmp_path)
+        warm = Pipeline(app.program, app.topology, app.initial_state, opts)
+        loaded = warm.compiled
+        assert warm.report().artifact_cache == "hit"
+        for event in loaded.nes.events:
+            fresh = type(event)(event.guard, event.location, event.eid)
+            assert hash(fresh) == hash(event)
+            assert fresh in frozenset(loaded.nes.events)
+            assert loaded.nes.structure.event_index.get(fresh) is not None
+        assert guarded_bytes(loaded) == guarded_bytes(legacy_compile(app))
+
+    def test_key_covers_program_state_and_semantic_options(self):
+        app = firewall_app()
+        ids = ids_app()
+        base = CompileOptions()
+        key = artifact_digest(app.program, app.topology, app.initial_state, base)
+        assert key == artifact_digest(
+            app.program, app.topology, app.initial_state, base
+        )
+        assert key != artifact_digest(
+            ids.program, ids.topology, ids.initial_state, base
+        )
+        assert key != artifact_digest(
+            app.program, app.topology, (1,), base
+        )
+        assert key != artifact_digest(
+            app.program,
+            app.topology,
+            app.initial_state,
+            base.replace(knowledge_cache=False),
+        )
+
+    def test_execution_only_options_share_the_key(self, tmp_path):
+        app = firewall_app()
+        base = CompileOptions()
+        for variant in (
+            base.replace(backend="thread"),
+            base.replace(max_workers=7),
+            base.replace(cache_dir=tmp_path),
+        ):
+            assert artifact_digest(
+                app.program, app.topology, app.initial_state, variant
+            ) == artifact_digest(app.program, app.topology, app.initial_state, base)
+
+    def test_key_covers_the_package_version(self, monkeypatch):
+        import repro
+
+        app = firewall_app()
+        base = CompileOptions()
+        key = artifact_digest(app.program, app.topology, app.initial_state, base)
+        monkeypatch.setattr(repro, "__version__", "99.0.0")
+        assert key != artifact_digest(
+            app.program, app.topology, app.initial_state, base
+        )
+
+    def test_corrupt_entry_is_a_miss_and_gets_repaired(self, tmp_path):
+        app = firewall_app()
+        options = CompileOptions(cache_dir=tmp_path)
+        pipeline = Pipeline(app.program, app.topology, app.initial_state, options)
+        key = pipeline.artifact_key()
+        ArtifactCache(tmp_path).path(key).write_bytes(b"not a pickle")
+
+        assert guarded_bytes(pipeline.compiled) == guarded_bytes(
+            legacy_compile(app)
+        )
+        assert pipeline.report().artifact_cache == "miss"
+        # The store overwrote the corrupt entry; the next pipeline hits.
+        rerun = Pipeline(app.program, app.topology, app.initial_state, options)
+        rerun.compiled
+        assert rerun.report().artifact_cache == "hit"
+
+    def test_artifact_pickles_without_guarded_table_memo(self):
+        compiled = firewall_app().compiled
+        compiled.guarded_tables()
+        clone = pickle.loads(pickle.dumps(compiled))
+        assert clone._guarded_tables == {}
+        # The builder is not shipped either (its AST memos are keyed by
+        # id() values from the storing process); the clone gets a fresh
+        # one configured by the same options.
+        assert clone._builder is not compiled._builder
+        assert not clone._builder._memo_of_policy
+        # Same for the event structure's id()-keyed shadow index: every
+        # key must be a live id of the clone's own universe, never a
+        # stale storing-process address.
+        structure = clone.nes.structure
+        live = {id(e) for e in structure._universe}
+        assert set(structure._index_by_id) == live
+        assert guarded_bytes(clone) == guarded_bytes(compiled)
+
+    def test_failed_store_does_not_discard_the_compile(self, tmp_path, monkeypatch):
+        app = firewall_app()
+        options = CompileOptions(cache_dir=tmp_path)
+        pipeline = Pipeline(app.program, app.topology, app.initial_state, options)
+
+        def broken_store(self, key, compiled):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(ArtifactCache, "store", broken_store)
+        assert guarded_bytes(pipeline.compiled) == guarded_bytes(
+            legacy_compile(app)
+        )
+
+    def test_store_failure_leaves_no_tmp_file(self, tmp_path, monkeypatch):
+        compiled = firewall_app().compiled
+        cache = ArtifactCache(tmp_path)
+        monkeypatch.setattr(
+            pickle, "dump", lambda *a, **k: (_ for _ in ()).throw(OSError("boom"))
+        )
+        with pytest.raises(OSError):
+            cache.store("somekey", compiled)
+        assert list(tmp_path.iterdir()) == []
+
+
+# ---------------------------------------------------------------------------
+# CompileOptions
+# ---------------------------------------------------------------------------
+
+
+class TestCompileOptions:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CompileOptions(backend="fork")
+        with pytest.raises(ValueError):
+            CompileOptions(max_workers=0)
+        with pytest.raises(ValueError):
+            CompileOptions(max_frontier=0)
+        with pytest.raises(ValueError):
+            CompileOptions(tag_field="")
+
+    def test_replace_revalidates(self):
+        options = CompileOptions()
+        assert options.replace(backend="thread").backend == "thread"
+        with pytest.raises(ValueError):
+            options.replace(backend="fork")
+
+    def test_cache_dir_is_tilde_expanded(self):
+        expanded = CompileOptions(cache_dir="~/repro-cache").cache_dir
+        assert "~" not in str(expanded)
+        assert expanded == Path("~/repro-cache").expanduser()
+
+    def test_make_builder_carries_the_knobs(self):
+        builder = CompileOptions(ordered_insert=False, ast_memo=False).make_builder()
+        assert builder.ordered_insert is False
+        assert builder.ast_memo is False
+        default = CompileOptions().make_builder()
+        assert default.ordered_insert is True and default.ast_memo is True
+
+
+def test_compile_app_forms():
+    app = firewall_app()
+    reference = guarded_bytes(app.compiled)
+    # With no option overrides, the app's own pipeline is reused -- the
+    # compile work and the stage report are shared, not redone.
+    assert compile_app(app) is app.pipeline.compiled
+    assert guarded_bytes(compile_app(app)) == reference
+    assert (
+        guarded_bytes(compile_app(app.program, app.topology, app.initial_state))
+        == reference
+    )
+    assert guarded_bytes(compile_app(app, backend="thread")) == reference
+    with pytest.raises(TypeError):
+        compile_app(app.program)
+    # An app bundles its own topology/initial_state; a conflicting
+    # override must be rejected, never silently ignored.
+    with pytest.raises(TypeError):
+        compile_app(app, initial_state=(1,))
+    with pytest.raises(TypeError):
+        compile_app(app, topology=app.topology)
+
+
+# ---------------------------------------------------------------------------
+# Deprecation shims: old spellings warn but produce identical results
+# ---------------------------------------------------------------------------
+
+
+class TestDeprecationShims:
+    def test_compile_nes_knowledge_cache_kwarg(self):
+        app = firewall_app()
+        with pytest.warns(DeprecationWarning, match="CompileOptions"):
+            old = compile_nes(app.nes, app.topology, knowledge_cache=False)
+        new = compile_nes(
+            app.nes, app.topology, options=CompileOptions(knowledge_cache=False)
+        )
+        assert old.options.knowledge_cache is False
+        assert guarded_bytes(old) == guarded_bytes(new) == guarded_bytes(app.compiled)
+
+    def test_fddbuilder_ordered_insert_kwarg(self):
+        from repro.netkat.ast import assign, filter_, seq, test, union
+
+        link_free = union(
+            seq(filter_(test("pt", 2)), assign("pt", 1), assign("ip_dst", 4)),
+            seq(assign("ip_src", 1), filter_(test("pt", 1)), assign("pt", 2)),
+        )
+        with pytest.warns(DeprecationWarning, match="CompileOptions"):
+            old = FDDBuilder(ordered_insert=False, ast_memo=False)
+        new = CompileOptions(ordered_insert=False, ast_memo=False).make_builder()
+        assert old.ordered_insert is False and old.ast_memo is False
+        assert repr(old.of_policy(link_free)) == repr(new.of_policy(link_free))
+
+    def test_default_construction_does_not_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            FDDBuilder()
+            compile_nes(firewall_app().nes, firewall_app().topology)
+
+
+# ---------------------------------------------------------------------------
+# Per-options guarded-table memo
+# ---------------------------------------------------------------------------
+
+
+class TestGuardedTablesPerOptionsMemo:
+    def test_tag_field_variants_do_not_alias(self):
+        compiled = firewall_app().compiled
+        default = compiled.guarded_tables()
+        custom = compiled.guarded_tables(tag_field="cfg")
+        # Each variant guards with its own field...
+        for tables, field_name in ((default, "tag"), (custom, "cfg")):
+            rules = [r for t in tables.values() for r in t]
+            assert rules and all(
+                r.match.get(field_name) is not None for r in rules
+            )
+        # ...and asking for the default again returns the default memo,
+        # not whichever variant was computed last.
+        again = compiled.guarded_tables()
+        for switch in default:
+            assert again[switch] is default[switch]
+
+    def test_invalidate_clears_every_variant(self):
+        compiled = firewall_app().compiled
+        default = compiled.guarded_tables()
+        custom = compiled.guarded_tables(tag_field="cfg")
+        compiled.invalidate_guarded_tables()
+        assert any(
+            compiled.guarded_tables()[sw] is not default[sw] for sw in default
+        )
+        assert any(
+            compiled.guarded_tables(tag_field="cfg")[sw] is not custom[sw]
+            for sw in custom
+        )
+
+    def test_options_tag_field_sets_the_default(self):
+        app = firewall_app()
+        compiled = compile_nes(
+            app.nes, app.topology, options=CompileOptions(tag_field="cfg")
+        )
+        rules = [r for t in compiled.guarded_tables().values() for r in t]
+        assert rules and all(r.match.get("cfg") is not None for r in rules)
+
+    def test_colliding_tag_field_is_rejected_not_overwritten(self):
+        # Match.extended silently replaces an existing constraint, so a
+        # tag field the program already matches on must raise, never
+        # corrupt the rule (section 4.1 argues for an *unused* field).
+        app = firewall_app()
+        compiled = compile_nes(
+            app.nes, app.topology, options=CompileOptions(tag_field="pt")
+        )
+        with pytest.raises(ValueError, match="collides"):
+            compiled.guarded_tables()
+        # The §5.3 optimizer's guarded merge enforces the same rule.
+        from repro.optimize.sharing import optimize_compiled_nes
+
+        with pytest.raises(ValueError, match="collides"):
+            optimize_compiled_nes(compiled)
+        # repr stays total: it must not force the guarded merge.
+        assert "CompiledNES" in repr(compiled)
+
+    def test_options_tag_field_reaches_the_optimizer(self):
+        from repro.optimize.sharing import (
+            optimize_compiled_nes,
+            optimized_table_equivalent,
+        )
+
+        app = firewall_app()
+        compiled = compile_nes(
+            app.nes, app.topology, options=CompileOptions(tag_field="cfg")
+        )
+        optimization = optimize_compiled_nes(compiled)
+        guards = [
+            r.match.get("cfg")
+            for switch_result in optimization.per_switch
+            for r in switch_result.rules
+        ]
+        assert guards and all(g is not None for g in guards)
+        for switch_result in optimization.per_switch:
+            assert optimized_table_equivalent(compiled, switch_result)
+
+
+# ---------------------------------------------------------------------------
+# Thread backend details
+# ---------------------------------------------------------------------------
+
+
+def test_thread_backend_preserves_state_order():
+    app = bandwidth_cap_app()
+    serial = compile_nes(app.nes, app.topology)
+    threaded = compile_nes(
+        app.nes,
+        app.topology,
+        options=CompileOptions(backend="thread", max_workers=3),
+    )
+    assert list(serial.configurations) == list(threaded.configurations)
+    assert serial.states == threaded.states
+
+
+def test_explicit_builder_forces_serial_path():
+    app = firewall_app()
+    builder = FDDBuilder()
+    compiled = compile_nes(
+        app.nes,
+        app.topology,
+        builder,  # old positional spelling must keep binding to builder=
+        options=CompileOptions(backend="thread"),
+    )
+    # The caller-owned builder compiled every configuration (its AST
+    # memos are warm), which only the serial path guarantees.
+    assert compiled._builder is builder
+    assert builder._memo_of_policy
+    assert guarded_bytes(compiled) == guarded_bytes(app.compiled)

@@ -17,6 +17,7 @@ PACKAGES = [
     "repro.optimize",
     "repro.apps",
     "repro.verify",
+    "repro.pipeline",
 ]
 
 
