@@ -16,6 +16,7 @@ import pytest
 
 from repro.apps import bandwidth_cap_app
 from repro.events.event import Event
+from repro.stateful.ets import build_ets
 from repro.events.locality import (
     is_locally_determined,
     minimally_inconsistent_sets,
@@ -27,6 +28,11 @@ from repro.netkat.ast import ID
 from repro.netkat.packet import Location
 
 CHAIN_DEPTHS = (16, 20, 24, 28)
+
+# Depths for the ETS-stage-only benchmark: the symbolic all-states
+# engine makes construction near-linear in the chain, so deeper caps
+# than the full-pipeline cases stay tractable.
+ETS_STAGE_DEPTHS = (24, 28, 32)
 
 
 def _event(field: str, value: int, switch: int, port: int = 1, eid: int = 0) -> Event:
@@ -73,6 +79,21 @@ def test_chain_compile_scales(benchmark, depth):
     rules = benchmark(compile_chain)
     # One counting rule per chain state plus the static paths.
     assert rules > depth
+
+
+@pytest.mark.parametrize("depth", ETS_STAGE_DEPTHS)
+def test_chain_ets_stage_scales(benchmark, depth):
+    """ETS construction alone (the symbolic partial-evaluation pass plus
+    per-state instantiation), per chain depth."""
+    app = bandwidth_cap_app(depth)
+
+    def build():
+        return build_ets(app.program, app.initial_state)
+
+    ets = benchmark(build)
+    # One chain state per counter value, plus the capped terminal state.
+    assert len(ets.states()) == depth + 2
+    assert len(ets.edges) == depth + 1
 
 
 @pytest.mark.parametrize("switches,per_switch", [(6, 2), (8, 2), (5, 3)])

@@ -7,7 +7,8 @@ Usage::
 
 Runs each benchmark ``rounds`` times (3 with ``--quick``, 7 otherwise),
 records the per-bench median wall-clock seconds plus per-stage
-(ets/nes/compile) pipeline timings for the ids and cap-20 apps, and
+(ets/nes/compile, with the ets symbolic-vs-instantiate substage split)
+pipeline timings for the ids, cap-20, and cap-24 apps, and
 writes ``BENCH_compiler_perf.json`` at the repository root.
 ``--backend`` selects the pipeline executor for the full-app compile
 benches (the outputs are byte-identical; only the timing changes).  The file is
@@ -41,6 +42,7 @@ from repro.events.locality import (
 from repro.netkat.fdd import FDDBuilder
 from repro.optimize.trie import build_trie, heuristic_order, trie_rule_count
 from repro.pipeline import BACKENDS, CompileOptions, Pipeline
+from repro.stateful.ets import build_ets
 
 from .bench_compiler_perf import random_link_free_policy
 from .bench_scale_events import wide_structure
@@ -81,6 +83,18 @@ def _bench_cap24_full_compile(options: CompileOptions) -> None:
     _pipeline_of(bandwidth_cap_app(24), options).compiled.total_rule_count()
 
 
+# ETS-stage-only cases at depths the per-state walks made painful: the
+# symbolic all-states engine keeps construction near-linear in the chain.
+def _bench_cap28_ets_stage(options: CompileOptions) -> None:
+    app = bandwidth_cap_app(28)
+    build_ets(app.program, app.initial_state)
+
+
+def _bench_cap32_ets_stage(options: CompileOptions) -> None:
+    app = bandwidth_cap_app(32)
+    build_ets(app.program, app.initial_state)
+
+
 def _bench_wide_locality(options: CompileOptions) -> None:
     nes = wide_structure(8, 2)
     minimally_inconsistent_sets(nes.structure)
@@ -117,6 +131,8 @@ BENCHES: Tuple[Tuple[str, Callable[[CompileOptions], None]], ...] = (
     ("cap_chain_nes_conversion_20", _bench_cap_chain_nes_conversion),
     ("cap20_full_compile", _bench_cap20_full_compile),
     ("cap24_full_compile", _bench_cap24_full_compile),
+    ("cap28_ets_stage", _bench_cap28_ets_stage),
+    ("cap32_ets_stage", _bench_cap32_ets_stage),
     ("wide_locality_8x2", _bench_wide_locality),
     ("trace_checker_firewall", _bench_trace_checker),
     ("trie_heuristic_64x20", _bench_trie_heuristic),
@@ -144,10 +160,12 @@ def run(
     return results
 
 
-# Apps whose staged (ets/nes/compile) timings are recorded per stage.
+# Apps whose staged (ets/nes/compile) timings are recorded per stage,
+# including the ets symbolic-vs-instantiate substage split.
 PIPELINE_STAGE_APPS: Tuple[Tuple[str, Callable[[], object]], ...] = (
     ("ids", ids_app),
     ("cap20", lambda: bandwidth_cap_app(20)),
+    ("cap24", lambda: bandwidth_cap_app(24)),
 )
 
 
@@ -158,13 +176,14 @@ def run_pipeline_stages(
     options = options if options is not None else CompileOptions()
     out: Dict[str, Dict[str, float]] = {}
     for name, make in PIPELINE_STAGE_APPS:
-        samples: Dict[str, List[float]] = {"ets": [], "nes": [], "compile": []}
+        samples: Dict[str, List[float]] = {}
         _pipeline_of(make(), options).compiled  # warm-up round, like run()
         for _ in range(rounds):
             pipeline = _pipeline_of(make(), options)
             pipeline.compiled
-            for stage, seconds in pipeline.report().stage_seconds:
-                samples[stage].append(seconds)
+            report = pipeline.report()
+            for stage, seconds in report.stage_seconds + report.substages:
+                samples.setdefault(stage, []).append(seconds)
         out[name] = {
             f"{stage}_median_s": round(statistics.median(times), 6)
             for stage, times in samples.items()

@@ -6,6 +6,7 @@ Usage (also via ``python -m repro``)::
     python -m repro check     program.snk --topology star --initial 0
     python -m repro compile   program.snk --topology firewall \
                               [--backend serial|thread] [--cache-dir DIR] \
+                              [--no-symbolic-extract] \
                               [--no-knowledge-cache] [--report]
     python -m repro optimize  program.snk --topology firewall
     python -m repro apps
@@ -125,6 +126,7 @@ def _cmd_compile(args: argparse.Namespace) -> int:
     options = CompileOptions(
         backend=args.backend,
         cache_dir=args.cache_dir,
+        symbolic_extract=not args.no_symbolic_extract,
         knowledge_cache=not args.no_knowledge_cache,
     )
     pipeline = Pipeline(program, topology, _initial_of(args.initial), options)
@@ -225,6 +227,12 @@ def build_arg_parser() -> argparse.ArgumentParser:
         help="persistent artifact cache directory (default: disabled)",
     )
     compile_cmd.add_argument(
+        "--no-symbolic-extract",
+        action="store_true",
+        help="build the ETS with the per-state extract/project reference "
+        "walks instead of the one-pass symbolic engine",
+    )
+    compile_cmd.add_argument(
         "--no-knowledge-cache",
         action="store_true",
         help="disable the per-builder knowledge-predicate FDD cache",
@@ -232,7 +240,8 @@ def build_arg_parser() -> argparse.ArgumentParser:
     compile_cmd.add_argument(
         "--report",
         action="store_true",
-        help="print per-stage pipeline timings and stats",
+        help="print per-stage pipeline timings and stats (including the "
+        "ets symbolic-vs-instantiate split)",
     )
     add_program_command("optimize", _cmd_optimize,
                         "report the section 5.3 rule sharing", True)

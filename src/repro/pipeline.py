@@ -50,6 +50,7 @@ from .netkat.fdd import DEFAULT_FIELD_ORDER, FDDBuilder
 from .runtime.compiler import TAG_FIELD, CompiledNES, compile_nes
 from .stateful.ast import StateVector
 from .stateful.ets import ETS, build_ets
+from .stateful.symbolic import SymbolicProgram
 from .topology import Topology
 
 __all__ = [
@@ -92,6 +93,13 @@ class CompileOptions:
     - ``max_workers``: thread-pool width (``None`` = executor default).
     - ``cache_dir``: directory for the persistent artifact cache;
       ``None`` (the default) disables it.
+    - ``symbolic_extract``: build the ETS from one symbolic
+      partial-evaluation pass over all state-component values
+      (:class:`~repro.stateful.symbolic.SymbolicProgram`) instead of one
+      ``extract``/``project`` walk per state; ``False`` selects the
+      retained per-state reference walks.  Output-affecting by
+      convention (it participates in the artifact cache key), though
+      both paths are byte-identical by construction.
     - ``knowledge_cache``: the per-builder knowledge-predicate FDD cache
       from the second perf wave; ``False`` recompiles each knowledge
       predicate from a fresh AST (reference path).
@@ -109,6 +117,7 @@ class CompileOptions:
     backend: str = "serial"
     max_workers: Optional[int] = None
     cache_dir: Optional[Union[str, Path]] = None
+    symbolic_extract: bool = True
     knowledge_cache: bool = True
     ordered_insert: bool = True
     ast_memo: bool = True
@@ -262,9 +271,17 @@ class PipelineReport:
     stats: Tuple[Tuple[str, int], ...]
     backend: str
     artifact_cache: Optional[str]
+    # Sub-stage split of the ets stage under symbolic_extract:
+    # "ets.symbolic" (the one partial-evaluation pass) and
+    # "ets.instantiate" (per-state BFS instantiation).  These refine
+    # the "ets" entry of stage_seconds; total_seconds() ignores them.
+    substages: Tuple[Tuple[str, float], ...] = ()
 
     def stage(self, name: str) -> Optional[float]:
         return dict(self.stage_seconds).get(name)
+
+    def substage(self, name: str) -> Optional[float]:
+        return dict(self.substages).get(name)
 
     def total_seconds(self) -> float:
         return sum(seconds for _, seconds in self.stage_seconds)
@@ -275,6 +292,9 @@ class PipelineReport:
                     if self.artifact_cache else "")]
         for name, seconds in self.stage_seconds:
             lines.append(f"  stage {name:<8s} {seconds:.6f}s")
+            for sub, sub_seconds in self.substages:
+                if sub.startswith(f"{name}."):
+                    lines.append(f"    {sub:<18s} {sub_seconds:.6f}s")
         for name, value in self.stats:
             lines.append(f"  {name:<22s} {value}")
         return "\n".join(lines)
@@ -311,6 +331,7 @@ class Pipeline:
         self._nes: Optional[NES] = None
         self._compiled: Optional[CompiledNES] = None
         self._stage_seconds: Dict[str, float] = {}
+        self._substage_seconds: Dict[str, float] = {}
         self._artifact_cache_state: Optional[str] = None
         self._artifact_key: Optional[str] = None
         self._cache: Optional[ArtifactCache] = None
@@ -322,8 +343,25 @@ class Pipeline:
     def ets(self) -> ETS:
         if self._ets is None:
             start = time.perf_counter()
-            self._ets = build_ets(self.program, self.initial_state)
-            self._stage_seconds["ets"] = time.perf_counter() - start
+            if self.options.symbolic_extract:
+                # The symbolic path splits into the one-shot partial
+                # evaluation and the per-state BFS instantiation; the
+                # report carries both (the "ets.*" substages) alongside
+                # the stage total.
+                symbolic = SymbolicProgram(self.program)
+                mid = time.perf_counter()
+                self._ets = build_ets(
+                    self.program, self.initial_state, symbolic=symbolic
+                )
+                end = time.perf_counter()
+                self._substage_seconds["ets.symbolic"] = mid - start
+                self._substage_seconds["ets.instantiate"] = end - mid
+            else:
+                self._ets = build_ets(
+                    self.program, self.initial_state, symbolic_extract=False
+                )
+                end = time.perf_counter()
+            self._stage_seconds["ets"] = end - start
         return self._ets
 
     @property
@@ -449,11 +487,19 @@ class Pipeline:
         timings = tuple(
             sorted(self._stage_seconds.items(), key=lambda kv: order[kv[0]])
         )
+        sub_order = {"ets.symbolic": 0, "ets.instantiate": 1}
+        substages = tuple(
+            sorted(
+                self._substage_seconds.items(),
+                key=lambda kv: sub_order.get(kv[0], len(sub_order)),
+            )
+        )
         return PipelineReport(
             stage_seconds=timings,
             stats=tuple(stats.items()),
             backend=self.options.backend,
             artifact_cache=self._artifact_cache_state,
+            substages=substages,
         )
 
     def __repr__(self) -> str:

@@ -119,7 +119,11 @@ class CompiledNES:
         the independent per-configuration compiles are sharded across a
         thread pool; passing an explicit ``builder`` forces the serial
         path, because a caller-owned builder cannot be shared across
-        worker threads.
+        worker threads.  ETS-stage knobs carried by the options (such as
+        ``symbolic_extract``) do not affect this stage -- the NES is
+        already built -- but they ride along so ``compiled.options``
+        records the full configuration the artifact was produced under
+        (and the artifact cache keys on them).
 
         ``knowledge_cache=`` is deprecated; use
         ``CompileOptions(knowledge_cache=...)``.

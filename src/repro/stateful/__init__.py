@@ -19,6 +19,15 @@ from .ets import ETS, build_ets
 from .events import EventEdge, ExtractResult, extract
 from .formula import EQ, Formula, Literal, NE
 from .projection import project, project_predicate
+from .symbolic import (
+    GuardedEdge,
+    StateGuard,
+    StateLiteral,
+    SymbolicExtract,
+    SymbolicProgram,
+    symbolic_extract,
+    symbolic_project,
+)
 
 __all__ = [
     "StateVector",
@@ -40,4 +49,11 @@ __all__ = [
     "build_ets",
     "project",
     "project_predicate",
+    "StateGuard",
+    "StateLiteral",
+    "GuardedEdge",
+    "SymbolicExtract",
+    "SymbolicProgram",
+    "symbolic_extract",
+    "symbolic_project",
 ]

@@ -15,13 +15,14 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from ..events.event import Event
 from ..netkat.ast import Policy
 from .ast import StateVector, validate_state_references
 from .events import EventEdge, extract
 from .projection import project
+from .symbolic import SymbolicProgram
 
 __all__ = ["ETS", "build_ets"]
 
@@ -75,29 +76,41 @@ class ETS:
         return frozenset(e.event for e in self.edges)
 
     def has_loops(self) -> bool:
-        """Is any state reachable from itself via one or more edges?"""
+        """Is any state reachable from itself via one or more edges?
+
+        The DFS runs on an explicit stack: deep state chains that the
+        symbolic extraction engine makes tractable (bandwidth caps well
+        past 28) would overflow CPython's recursion limit with a
+        recursive ``visit``.
+        """
         adjacency: Dict[StateVector, List[StateVector]] = {}
         for e in self.edges:
             adjacency.setdefault(e.src, []).append(e.dst)
         WHITE, GRAY, BLACK = 0, 1, 2
         color: Dict[StateVector, int] = {}
-
-        def visit(node: StateVector) -> bool:
-            color[node] = GRAY
-            for nxt in adjacency.get(node, ()):
-                c = color.get(nxt, WHITE)
-                if c == GRAY:
-                    return True
-                if c == WHITE and visit(nxt):
-                    return True
-            color[node] = BLACK
-            return False
-
-        return any(
-            visit(state)
-            for state, _ in self.vertices
-            if color.get(state, WHITE) == WHITE
-        )
+        for root, _ in self.vertices:
+            if color.get(root, WHITE) != WHITE:
+                continue
+            color[root] = GRAY
+            stack: List[Tuple[StateVector, Iterator[StateVector]]] = [
+                (root, iter(adjacency.get(root, ())))
+            ]
+            while stack:
+                node, neighbors = stack[-1]
+                advanced = False
+                for nxt in neighbors:
+                    c = color.get(nxt, WHITE)
+                    if c == GRAY:
+                        return True
+                    if c == WHITE:
+                        color[nxt] = GRAY
+                        stack.append((nxt, iter(adjacency.get(nxt, ()))))
+                        advanced = True
+                        break
+                if not advanced:
+                    color[node] = BLACK
+                    stack.pop()
+        return False
 
     def __repr__(self) -> str:
         lines = [f"ETS(initial={list(self.initial)})"]
@@ -114,12 +127,24 @@ def build_ets(
     initial: StateVector,
     state_space: Optional[Iterable[StateVector]] = None,
     max_states: int = 10_000,
+    symbolic_extract: bool = True,
+    symbolic: Optional[SymbolicProgram] = None,
 ) -> ETS:
     """Construct ``ETS(program)`` from the initial state.
 
     By default only states reachable from ``initial`` become vertices;
     pass ``state_space`` to force a specific vertex set (every reachable
     state must be included in it).
+
+    With ``symbolic_extract`` (the default) the program is partially
+    evaluated **once** over all state-component values
+    (:class:`~repro.stateful.symbolic.SymbolicProgram`) and the BFS
+    instantiates each state's edges and configuration from the guarded
+    result -- near-linear in the chain depth for the cap apps, and
+    byte-identical to the retained per-state ``extract``/``project``
+    reference walks (``symbolic_extract=False``).  Pass a prebuilt
+    ``symbolic`` engine to reuse (and time) the partial evaluation
+    separately, as :class:`repro.pipeline.Pipeline` does.
     """
     allowed: Optional[Set[StateVector]] = (
         set(state_space) if state_space is not None else None
@@ -129,6 +154,14 @@ def build_ets(
     # Projection prunes dead segments without walking their bodies, so
     # out-of-range state references are checked once for the whole program.
     validate_state_references(program, len(initial))
+    if symbolic is None and symbolic_extract:
+        symbolic = SymbolicProgram(program)
+    if symbolic is not None:
+        edges_of = symbolic.edges_at
+        config_of = symbolic.configuration_at
+    else:
+        edges_of = lambda s: extract(program, s).edges  # noqa: E731
+        config_of = lambda s: project(program, s)  # noqa: E731
 
     visited: Set[StateVector] = {initial}
     order: List[StateVector] = [initial]
@@ -136,7 +169,7 @@ def build_ets(
     queue = deque([initial])
     while queue:
         state = queue.popleft()
-        for edge in extract(program, state).edges:
+        for edge in edges_of(state):
             if edge.dst == edge.src:
                 # An update that rewrites the state to its current value is
                 # an identity transition; the paper's ETSs omit them (e.g.
@@ -161,8 +194,13 @@ def build_ets(
     if allowed is not None:
         for extra in sorted(allowed - visited):
             order.append(extra)
-            for edge in extract(program, extra).edges:
+            for edge in edges_of(extra):
+                if edge.dst == edge.src:
+                    # Identity transitions are omitted here exactly as in
+                    # the BFS loop above; forced extra states must not
+                    # disagree with reached ones on the paper's rule.
+                    continue
                 edges.add(edge)
 
-    vertices = tuple((state, project(program, state)) for state in order)
+    vertices = tuple((state, config_of(state)) for state in order)
     return ETS(initial=initial, vertices=vertices, edges=frozenset(edges))

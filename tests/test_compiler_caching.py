@@ -11,7 +11,7 @@ defensive copies, and explicit invalidation.
 
 import pytest
 
-from repro import CompileOptions
+from repro import CompileOptions, Pipeline
 from repro.apps import bandwidth_cap_app, firewall_app, ids_app
 from repro.netkat.compiler import Knowledge, knowledge_fdd
 from repro.netkat.fdd import FDDBuilder
@@ -28,10 +28,34 @@ def reference_compile(app) -> CompiledNES:
     return CompiledNES(app.nes, app.topology, options=options)
 
 
+def reference_pipeline_compile(app) -> CompiledNES:
+    """The full toolchain with every fast path off: per-state
+    extract/project ETS construction plus every perf-wave cache
+    disabled."""
+    options = CompileOptions(
+        symbolic_extract=False,
+        ordered_insert=False,
+        ast_memo=False,
+        knowledge_cache=False,
+    )
+    return Pipeline(app.program, app.topology, app.initial_state, options).compiled
+
+
 @pytest.mark.parametrize("name,make", APPS, ids=[name for name, _ in APPS])
 def test_guarded_tables_byte_identical(name, make):
     app = make()
     assert guarded_bytes(app.compiled) == guarded_bytes(reference_compile(app))
+
+
+@pytest.mark.parametrize("name,make", APPS, ids=[name for name, _ in APPS])
+def test_guarded_tables_byte_identical_symbolic_off(name, make):
+    """Symbolic all-states extraction stacked with the cache
+    off-switches: the full fast-path pipeline (app defaults) against the
+    everything-off reference, end to end."""
+    app = make()
+    assert guarded_bytes(app.compiled) == guarded_bytes(
+        reference_pipeline_compile(app)
+    )
 
 
 @pytest.mark.slow

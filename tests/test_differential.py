@@ -9,8 +9,15 @@ against direct evaluation in :mod:`repro.netkat.semantics` on random
 packets.  This is the harness that proves the perf-wave caching layers
 invisible: any divergence between the fast paths and the ground-truth
 semantics fails loudly with the generating seed in the test id.
+
+A second generator produces random *Stateful* NetKAT programs (state
+tests, state-updating links, union/sequence/star over them) and
+cross-checks the symbolic all-states engine
+(:mod:`repro.stateful.symbolic`) against the per-state ``extract`` /
+``project`` reference walks on every state vector of a small box.
 """
 
+import itertools
 import random
 
 import pytest
@@ -30,11 +37,16 @@ from repro.netkat.ast import (
     test as field_test,
     union,
 )
+from repro.netkat.ast import link
 from repro.netkat.fdd import FDDBuilder
 from repro.netkat.flowtable import table_of_fdd
 from repro.pipeline import CompileOptions
 from repro.netkat.packet import Packet
 from repro.netkat.semantics import eval_packet
+from repro.stateful.ast import StateTest, link_update
+from repro.stateful.events import extract
+from repro.stateful.projection import project
+from repro.stateful.symbolic import SymbolicProgram
 
 # The field vocabulary shared by the seed applications (plus the two
 # location fields, which exercise the head of the FDD field order).
@@ -135,6 +147,100 @@ def test_known_out_of_order_splice():
         Packet({"sw": 1, "pt": 1}),
     ]
     assert_differential(policy, packets)
+
+
+# ---------------------------------------------------------------------------
+# Symbolic all-states extraction vs the per-state reference walks
+# ---------------------------------------------------------------------------
+
+# Random stateful programs range over a 2-component state vector with
+# values 0..2, so the cross-check below can enumerate the whole box.
+STATE_WIDTH = 2
+STATE_VALUES = (0, 1, 2)
+STATE_BOX = tuple(itertools.product(STATE_VALUES, repeat=STATE_WIDTH))
+
+
+def random_stateful_predicate(rng: random.Random, depth: int) -> Predicate:
+    if depth <= 0 or rng.random() < 0.4:
+        roll = rng.random()
+        if roll < 0.08:
+            return TRUE
+        if roll < 0.16:
+            return FALSE
+        if roll < 0.55:
+            return StateTest(
+                rng.randrange(STATE_WIDTH), rng.choice(STATE_VALUES)
+            )
+        return field_test(rng.choice(FIELDS), rng.choice(VALUES))
+    kind = rng.random()
+    if kind < 0.35:
+        return conj(
+            random_stateful_predicate(rng, depth - 1),
+            random_stateful_predicate(rng, depth - 1),
+        )
+    if kind < 0.7:
+        return disj(
+            random_stateful_predicate(rng, depth - 1),
+            random_stateful_predicate(rng, depth - 1),
+        )
+    return neg(random_stateful_predicate(rng, depth - 1))
+
+
+def random_stateful_policy(rng: random.Random, depth: int) -> Policy:
+    if depth <= 0 or rng.random() < 0.3:
+        roll = rng.random()
+        if roll < 0.35:
+            return filter_(random_stateful_predicate(rng, 2))
+        if roll < 0.55:
+            return assign(rng.choice(FIELDS), rng.choice(VALUES))
+        src = f"{rng.randint(1, 3)}:1"
+        dst = f"{rng.randint(1, 3)}:1"
+        if roll < 0.85:
+            return link_update(
+                src,
+                dst,
+                [(rng.randrange(STATE_WIDTH), rng.choice(STATE_VALUES))],
+            )
+        return link(src, dst)
+    kind = rng.random()
+    if kind < 0.4:
+        return union(
+            random_stateful_policy(rng, depth - 1),
+            random_stateful_policy(rng, depth - 1),
+        )
+    if kind < 0.85:
+        return seq(
+            random_stateful_policy(rng, depth - 1),
+            random_stateful_policy(rng, depth - 1),
+        )
+    return star(random_stateful_policy(rng, depth - 1))
+
+
+def assert_symbolic_matches_per_state(program: Policy) -> None:
+    """One symbolic pass == per-state extract/project, on every state."""
+    symbolic = SymbolicProgram(program)
+    for state in STATE_BOX:
+        concrete = extract(program, state)
+        assert symbolic.edges_at(state) == concrete.edges
+        assert symbolic.formulas_at(state) == concrete.formulas
+        assert symbolic.configuration_at(state) == project(program, state)
+
+
+@pytest.mark.parametrize("seed", range(40))
+def test_random_stateful_programs_match_per_state_walks(seed):
+    """40 random stateful programs x 9 states = 360 differential cases."""
+    rng = random.Random(1000 + seed)
+    program = random_stateful_policy(rng, depth=4)
+    assert_symbolic_matches_per_state(program)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", range(2000, 2030))
+def test_deep_random_stateful_programs_match_per_state_walks(seed):
+    """Deeper stateful programs (more star/seq nesting over state)."""
+    rng = random.Random(seed)
+    program = random_stateful_policy(rng, depth=6)
+    assert_symbolic_matches_per_state(program)
 
 
 def test_star_with_modification_cycle():

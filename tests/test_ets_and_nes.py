@@ -95,6 +95,26 @@ class TestBuildETS:
         )
         assert not build_ets(prog, (0,)).has_loops()
 
+    def test_has_loops_survives_chains_beyond_the_recursion_limit(self):
+        # The symbolic engine makes very deep state chains cheap to
+        # build; the explicit-stack DFS must not hit CPython's
+        # recursion limit walking them.
+        import sys
+
+        depth = sys.getrecursionlimit() + 100
+        states = [(i,) for i in range(depth)]
+        event = ev("ip_dst", 4, 4, 1)
+        chain_edges = [
+            EventEdge(states[i], event, states[i + 1])
+            for i in range(depth - 1)
+        ]
+        configs = {s: assign("cfg", s[0]) for s in states}
+        assert not make_ets(states[0], configs, chain_edges).has_loops()
+        back_edge = EventEdge(states[-1], event, states[0])
+        assert make_ets(
+            states[0], configs, chain_edges + [back_edge]
+        ).has_loops()
+
 
 class TestFamilyOfETS:
     def test_figure_3a_compatible_events(self):

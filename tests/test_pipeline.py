@@ -62,6 +62,64 @@ def test_backends_cache_and_facade_byte_identical(name, make, tmp_path):
     assert warm.report().artifact_cache == "hit"
 
 
+@pytest.mark.parametrize("name,make", APPS, ids=[name for name, _ in APPS])
+def test_symbolic_extract_byte_identical(name, make):
+    """The symbolic all-states engine (the default) must produce ETS
+    vertices/edges and guarded tables byte-identical to the per-state
+    extract/project reference walks."""
+    app = make()
+    fast = Pipeline(app.program, app.topology, app.initial_state)
+    reference = Pipeline(
+        app.program,
+        app.topology,
+        app.initial_state,
+        CompileOptions(symbolic_extract=False),
+    )
+    assert fast.ets.initial == reference.ets.initial
+    assert fast.ets.vertices == reference.ets.vertices
+    assert fast.ets.edges == reference.ets.edges
+    assert repr(fast.ets) == repr(reference.ets)
+    assert guarded_bytes(fast.compiled) == guarded_bytes(reference.compiled)
+
+
+def test_symbolic_extract_is_in_the_artifact_key():
+    app = firewall_app()
+    base = CompileOptions()
+    assert artifact_digest(
+        app.program, app.topology, app.initial_state, base
+    ) != artifact_digest(
+        app.program,
+        app.topology,
+        app.initial_state,
+        base.replace(symbolic_extract=False),
+    )
+
+
+def test_report_shows_the_symbolic_vs_instantiate_split():
+    app = firewall_app()
+    fast = Pipeline(app.program, app.topology, app.initial_state)
+    fast.ets
+    report = fast.report()
+    subs = [name for name, _ in report.substages]
+    assert subs == ["ets.symbolic", "ets.instantiate"]
+    assert report.substage("ets.symbolic") is not None
+    # The substages refine the ets stage; total_seconds() counts each
+    # stage once.
+    assert report.total_seconds() == pytest.approx(
+        sum(s for _, s in report.stage_seconds)
+    )
+    assert "ets.symbolic" in str(report) and "ets.instantiate" in str(report)
+
+    reference = Pipeline(
+        app.program,
+        app.topology,
+        app.initial_state,
+        CompileOptions(symbolic_extract=False),
+    )
+    reference.ets
+    assert reference.report().substages == ()
+
+
 def test_app_facade_matches_legacy():
     app = firewall_app()
     assert guarded_bytes(app.compiled) == guarded_bytes(legacy_compile(app))
