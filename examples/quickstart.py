@@ -47,6 +47,32 @@ def main() -> None:
             print(f"    {rule!r}")
     print(f"\nPer-stage report:\n{pipeline.report()}\n")
 
+    # -- fault tolerance: signed artifact cache + health counters ------------
+    # With cache_hmac_key set (or the REPRO_CACHE_HMAC_KEY environment
+    # variable), cached artifacts carry an HMAC-SHA256 signature and
+    # loads verify it: a tampered or unsigned entry is a recorded miss,
+    # quarantined to *.pkl.bad and recompiled over -- or a hard
+    # ArtifactIntegrityError under strict_cache=True.  Every absorbed
+    # failure (cache rejections, executor retries, thread->serial
+    # fallbacks) is counted in report().health; empty means clean.
+    import tempfile
+
+    from repro import CompileOptions, Pipeline
+
+    with tempfile.TemporaryDirectory() as cache_dir:
+        opts = CompileOptions(
+            cache_dir=cache_dir,
+            cache_hmac_key="example-key",  # or export REPRO_CACHE_HMAC_KEY
+            strict_cache=False,
+        )
+        cold = Pipeline(app.program, app.topology, app.initial_state, opts)
+        cold.compiled
+        warm = Pipeline(app.program, app.topology, app.initial_state, opts)
+        warm.compiled
+        print(f"Signed artifact cache: cold={cold.report().artifact_cache}, "
+              f"warm={warm.report().artifact_cache}")
+        print(f"Health counters: {dict(warm.report().health) or 'ok'}\n")
+
     # -- execute the Figure 7 semantics -----------------------------------------
     rt = app.runtime(seed=0)
 

@@ -15,6 +15,8 @@ Layers, bottom to top:
 - :mod:`repro.optimize` -- the rule-sharing trie heuristic (section 5.3)
 - :mod:`repro.apps` -- the five case studies and the ring workload
 - :mod:`repro.pipeline` -- the staged compilation façade over all of it
+- :mod:`repro.faults` -- deterministic seeded fault injection for
+  chaos-testing the pipeline, cache, and executor failure seams
 
 Quickstart -- compile through the staged pipeline, then run it::
 
@@ -43,9 +45,16 @@ repeated construction skips the toolchain entirely::
     tables = pipeline.compiled.guarded_tables()
 """
 
-from . import apps, baselines, consistency, events, netkat, network, optimize, pipeline, runtime, stateful, verify
+from . import apps, baselines, consistency, events, faults, netkat, network, optimize, pipeline, runtime, stateful, verify
 from .formula import EQ, Formula, Literal, NE
-from .pipeline import CompileOptions, Pipeline, compile_app
+from .pipeline import (
+    ArtifactIntegrityError,
+    CompileOptions,
+    Pipeline,
+    PipelineError,
+    StageError,
+    compile_app,
+)
 from .topology import Host, Topology
 
 __version__ = "0.1.0"
@@ -62,9 +71,13 @@ __all__ = [
     "apps",
     "verify",
     "pipeline",
+    "faults",
     "Pipeline",
     "CompileOptions",
     "compile_app",
+    "PipelineError",
+    "StageError",
+    "ArtifactIntegrityError",
     "Topology",
     "Host",
     "Formula",

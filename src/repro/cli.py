@@ -6,8 +6,13 @@ Usage (also via ``python -m repro``)::
     python -m repro check     program.snk --topology star --initial 0
     python -m repro compile   program.snk --topology firewall \
                               [--backend serial|thread] [--cache-dir DIR] \
-                              [--no-symbolic-extract] \
+                              [--strict-cache] [--no-symbolic-extract] \
                               [--no-knowledge-cache] [--report]
+
+``--report`` prints the per-stage timing report including the pipeline
+``health`` counters (executor retries/fallbacks, cache integrity
+rejections, swallowed cache errors); ``health ok`` means nothing was
+absorbed.
     python -m repro optimize  program.snk --topology firewall
     python -m repro apps
 
@@ -29,7 +34,7 @@ from .events.locality import is_locally_determined, locality_violations
 from .netkat.flowtable import TagFieldError
 from .netkat.parser import ParseError, parse_policy
 from .optimize.sharing import optimize_compiled_nes
-from .pipeline import BACKENDS, CompileOptions, Pipeline
+from .pipeline import BACKENDS, CompileOptions, Pipeline, PipelineError
 from .runtime.compiler import LocalityError
 from .stateful.ast import StateVector
 from .stateful.ets import build_ets
@@ -126,6 +131,7 @@ def _cmd_compile(args: argparse.Namespace) -> int:
     options = CompileOptions(
         backend=args.backend,
         cache_dir=args.cache_dir,
+        strict_cache=args.strict_cache,
         symbolic_extract=not args.no_symbolic_extract,
         knowledge_cache=not args.no_knowledge_cache,
     )
@@ -133,7 +139,7 @@ def _cmd_compile(args: argparse.Namespace) -> int:
     try:
         compiled = pipeline.compiled
         tables = compiled.guarded_tables()  # tag-collision check runs here
-    except (ETSConversionError, LocalityError, TagFieldError) as exc:
+    except (ETSConversionError, LocalityError, TagFieldError, PipelineError) as exc:
         print(f"FAIL: {exc}")
         return 1
     print(f"{compiled}\n")
@@ -224,7 +230,14 @@ def build_arg_parser() -> argparse.ArgumentParser:
         "--cache-dir",
         default=None,
         metavar="DIR",
-        help="persistent artifact cache directory (default: disabled)",
+        help="persistent artifact cache directory (default: disabled); "
+        "set REPRO_CACHE_HMAC_KEY to sign/verify artifacts",
+    )
+    compile_cmd.add_argument(
+        "--strict-cache",
+        action="store_true",
+        help="treat a cached artifact failing HMAC verification as a "
+        "hard error instead of a recorded miss",
     )
     compile_cmd.add_argument(
         "--no-symbolic-extract",

@@ -35,14 +35,17 @@ from __future__ import annotations
 
 import dataclasses
 import hashlib
+import hmac
 import os
 import pickle
 import threading
 import time
+import warnings
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Iterable, Optional, Sequence, Tuple, Union
+from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple, Union
 
+from . import faults
 from .events.ets_to_nes import nes_of_ets
 from .events.nes import NES
 from .netkat.ast import Policy
@@ -59,6 +62,10 @@ __all__ = [
     "Pipeline",
     "PipelineReport",
     "ArtifactCache",
+    "ArtifactCacheWarning",
+    "ArtifactIntegrityError",
+    "PipelineError",
+    "StageError",
     "compile_app",
 ]
 
@@ -69,12 +76,59 @@ __all__ = [
 BACKENDS: Tuple[str, ...] = ("serial", "thread")
 
 # Bump when the pickled artifact layout changes incompatibly; old cache
-# entries then miss instead of unpickling garbage.
-ARTIFACT_FORMAT = 1
+# entries then miss instead of unpickling garbage.  Format 2 added the
+# optional HMAC-SHA256 signing envelope (see ArtifactCache).
+ARTIFACT_FORMAT = 2
 
 # Options that select *how* the pipeline executes, never *what* it
-# produces; they are excluded from the artifact cache key.
-_EXECUTION_ONLY_FIELDS = frozenset({"backend", "max_workers", "cache_dir"})
+# produces; they are excluded from the artifact cache key.  The
+# fault-tolerance knobs all live here: retry/deadline/degradation and
+# cache signing change how (and whether) an artifact is obtained, never
+# its bytes — the chaos suite pins that.
+_EXECUTION_ONLY_FIELDS = frozenset(
+    {
+        "backend",
+        "max_workers",
+        "cache_dir",
+        "cache_hmac_key",
+        "strict_cache",
+        "compile_retries",
+        "deadline_seconds",
+    }
+)
+
+# Environment fallback for CompileOptions.cache_hmac_key, so a fleet can
+# be keyed without threading the secret through every construction site.
+CACHE_HMAC_KEY_ENV = "REPRO_CACHE_HMAC_KEY"
+
+
+class PipelineError(Exception):
+    """Base for typed pipeline failures; ``stage`` names the provenance
+    (``"ets"`` / ``"nes"`` / ``"compile"`` / ``"cache"``)."""
+
+    def __init__(self, stage: str, message: str):
+        super().__init__(message)
+        self.stage = stage
+
+
+class StageError(PipelineError):
+    """A pipeline stage failed irrecoverably (after any retry and
+    backend degradation the options allow)."""
+
+
+class ArtifactIntegrityError(PipelineError):
+    """A cached artifact failed HMAC verification under
+    ``strict_cache=True``.  Never raised in the default lenient mode,
+    where a bad artifact is a recorded miss + quarantine instead."""
+
+    def __init__(self, message: str):
+        super().__init__("cache", message)
+
+
+class ArtifactCacheWarning(UserWarning):
+    """A cache failure was absorbed (the cache is an accelerator, never
+    a gate); the warning carries the cause that used to be swallowed
+    silently."""
 
 
 @dataclass(frozen=True)
@@ -93,6 +147,22 @@ class CompileOptions:
     - ``max_workers``: thread-pool width (``None`` = executor default).
     - ``cache_dir``: directory for the persistent artifact cache;
       ``None`` (the default) disables it.
+    - ``cache_hmac_key``: key (str/bytes) for HMAC-SHA256 signing of
+      cache artifacts; falls back to the ``REPRO_CACHE_HMAC_KEY``
+      environment variable, and ``None`` with no env var keeps the
+      legacy unsigned format.  With a key, stored artifacts carry a
+      signature envelope and loads verify it — a mismatching or
+      unsigned entry is rejected (recorded miss + quarantine).
+    - ``strict_cache``: escalate an integrity rejection from a recorded
+      miss to a hard :class:`ArtifactIntegrityError` (for deployments
+      where silently recompiling over a tampered cache is itself a
+      signal worth stopping on).
+    - ``compile_retries``: per-configuration compile attempts beyond the
+      first (deterministic exponential backoff between attempts); ``0``
+      disables retry.
+    - ``deadline_seconds``: wall-clock budget for the compile stage,
+      checked between per-configuration compiles (cooperative — one
+      configuration is never preempted); exceeded → :class:`StageError`.
     - ``symbolic_extract``: build the ETS from one symbolic
       partial-evaluation pass over all state-component values
       (:class:`~repro.stateful.symbolic.SymbolicProgram`) instead of one
@@ -117,6 +187,10 @@ class CompileOptions:
     backend: str = "serial"
     max_workers: Optional[int] = None
     cache_dir: Optional[Union[str, Path]] = None
+    cache_hmac_key: Optional[Union[str, bytes]] = None
+    strict_cache: bool = False
+    compile_retries: int = 2
+    deadline_seconds: Optional[float] = None
     symbolic_extract: bool = True
     knowledge_cache: bool = True
     ordered_insert: bool = True
@@ -133,6 +207,14 @@ class CompileOptions:
             )
         if self.max_workers is not None and self.max_workers < 1:
             raise ValueError(f"max_workers must be >= 1, got {self.max_workers}")
+        if self.compile_retries < 0:
+            raise ValueError(
+                f"compile_retries must be >= 0, got {self.compile_retries}"
+            )
+        if self.deadline_seconds is not None and self.deadline_seconds <= 0:
+            raise ValueError(
+                f"deadline_seconds must be > 0, got {self.deadline_seconds}"
+            )
         if self.max_frontier < 1:
             raise ValueError(f"max_frontier must be >= 1, got {self.max_frontier}")
         if not self.tag_field:
@@ -159,6 +241,18 @@ class CompileOptions:
             if f.name not in _EXECUTION_ONLY_FIELDS
         )
         return repr(pairs)
+
+    def resolved_cache_hmac_key(self) -> Optional[bytes]:
+        """The effective cache-signing key as bytes: the explicit field,
+        else the ``REPRO_CACHE_HMAC_KEY`` environment variable, else
+        ``None`` (unsigned legacy format)."""
+        key = self.cache_hmac_key
+        if key is None:
+            env = os.environ.get(CACHE_HMAC_KEY_ENV)
+            key = env if env else None
+        if key is None:
+            return None
+        return key.encode() if isinstance(key, str) else bytes(key)
 
 
 # ---------------------------------------------------------------------------
@@ -206,45 +300,158 @@ def artifact_digest(
     return h.hexdigest()
 
 
+# Signed-artifact envelope: MAGIC + 32-byte HMAC-SHA256(payload) +
+# pickled payload.  Files without the magic are the legacy (format-1)
+# unsigned layout.
+_SIGNED_MAGIC = b"repro-signed-artifact\x00"
+_HMAC_SIZE = hashlib.sha256().digest_size
+
+
 class ArtifactCache:
     """Pickled :class:`CompiledNES` artifacts under ``root/<digest>.pkl``.
 
     Writes go through a temp file + :func:`os.replace`, so concurrent
     pipelines racing on one key leave a complete artifact.  Unreadable
-    or corrupt entries load as misses (and are overwritten by the next
-    store), never as errors.
+    or corrupt entries load as misses, never as errors — but no longer
+    *silent* misses: the cause is surfaced once per cache as an
+    :class:`ArtifactCacheWarning`, counted in ``health``, and the bad
+    entry is quarantined to ``<key>.pkl.bad`` so a cold fleet does not
+    re-read and re-reject it on every pipeline.
+
+    With ``hmac_key`` set, stored artifacts carry an HMAC-SHA256
+    signature envelope and loads verify it: a tampered, truncated, or
+    unsigned entry is rejected (quarantine + recorded miss by default,
+    :class:`ArtifactIntegrityError` under ``strict=True``) — the
+    integrity prerequisite for sharing a cache beyond mutually-trusting
+    writers.  A keyless cache still *reads* signed entries (unverified;
+    same trust model as the legacy format it also reads).
 
     .. warning:: Artifacts are pickles, and unpickling executes code
-       from the file.  Point ``cache_dir`` only at directories whose
-       writers you trust (your own machine, your own CI job) — never at
-       a world-writable or untrusted shared path.
+       from the file.  The HMAC check authenticates entries against
+       writers holding the key; without a key, point ``cache_dir`` only
+       at directories whose writers you trust (your own machine, your
+       own CI job) — never at a world-writable or untrusted shared path.
     """
 
-    def __init__(self, root: Union[str, Path]):
+    def __init__(
+        self,
+        root: Union[str, Path],
+        hmac_key: Optional[bytes] = None,
+        strict: bool = False,
+        health: Optional[Dict[str, int]] = None,
+    ):
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        self.hmac_key = hmac_key
+        self.strict = strict
+        self.health = health if health is not None else {}
+        self._warned: set = set()
 
     def path(self, key: str) -> Path:
         return self.root / f"{key}.pkl"
 
+    def bad_path(self, key: str) -> Path:
+        """Where a corrupt/unverifiable entry for ``key`` is quarantined."""
+        return self.root / f"{key}.pkl.bad"
+
+    # -- failure bookkeeping ------------------------------------------------
+
+    def _count(self, counter: str) -> None:
+        self.health[counter] = self.health.get(counter, 0) + 1
+
+    def _warn_once(self, category: str, message: str) -> None:
+        if category not in self._warned:
+            self._warned.add(category)
+            warnings.warn(message, ArtifactCacheWarning, stacklevel=4)
+
+    def _quarantine(self, key: str) -> None:
+        """Move the entry aside so it is never re-read and re-rejected;
+        best-effort (a read-only cache just leaves it in place)."""
+        try:
+            os.replace(self.path(key), self.bad_path(key))
+            self._count("cache.quarantined")
+        except OSError:
+            pass
+
+    def _reject(self, key: str, reason: str) -> None:
+        """An entry failed verification: quarantine + count, and under
+        strict mode escalate to a hard typed error."""
+        self._count("cache.integrity_rejected")
+        self._quarantine(key)
+        if self.strict:
+            raise ArtifactIntegrityError(
+                f"cache artifact {self.path(key).name} rejected: {reason}"
+            )
+        self._warn_once(
+            "integrity",
+            f"artifact cache entry rejected ({reason}); recompiling "
+            f"(quarantined to {self.bad_path(key).name})",
+        )
+
+    # -- load / store -------------------------------------------------------
+
     def load(self, key: str) -> Optional[CompiledNES]:
         try:
-            with open(self.path(key), "rb") as handle:
-                artifact = pickle.load(handle)
+            faults.check("cache.load")
+            blob = self.path(key).read_bytes()
         except FileNotFoundError:
             return None
-        except Exception:
-            return None  # corrupt/truncated entry: recompile over it
-        return artifact if isinstance(artifact, CompiledNES) else None
+        except Exception as exc:  # unreadable entry: recompile over it
+            self._count("cache.load_error")
+            self._warn_once(
+                "load", f"artifact cache load failed ({exc!r}); recompiling"
+            )
+            return None
+        payload = blob
+        if blob.startswith(_SIGNED_MAGIC):
+            header_end = len(_SIGNED_MAGIC) + _HMAC_SIZE
+            digest, payload = blob[len(_SIGNED_MAGIC):header_end], blob[header_end:]
+            if self.hmac_key is not None:
+                want = hmac.new(self.hmac_key, payload, hashlib.sha256).digest()
+                if len(digest) != _HMAC_SIZE or not hmac.compare_digest(digest, want):
+                    self._reject(key, "HMAC-SHA256 mismatch (tampered or torn)")
+                    return None
+        elif self.hmac_key is not None:
+            self._reject(key, "unsigned entry in a keyed cache")
+            return None
+        try:
+            artifact = pickle.loads(payload)
+        except Exception as exc:  # corrupt/truncated entry
+            self._count("cache.load_corrupt")
+            self._quarantine(key)
+            self._warn_once(
+                "corrupt",
+                f"corrupt artifact cache entry ({exc!r}); recompiling "
+                f"(quarantined to {self.bad_path(key).name})",
+            )
+            return None
+        if not isinstance(artifact, CompiledNES):
+            self._count("cache.load_corrupt")
+            self._quarantine(key)
+            self._warn_once(
+                "corrupt",
+                f"artifact cache entry holds {type(artifact).__name__}, "
+                "not a CompiledNES; recompiling",
+            )
+            return None
+        return artifact
 
     def store(self, key: str, compiled: CompiledNES) -> Path:
+        faults.check("cache.store")
         target = self.path(key)
         tmp = target.with_name(
             f"{target.name}.tmp{os.getpid()}.{threading.get_ident()}"
         )
+        payload = pickle.dumps(compiled, protocol=pickle.HIGHEST_PROTOCOL)
+        if self.hmac_key is not None:
+            payload = (
+                _SIGNED_MAGIC
+                + hmac.new(self.hmac_key, payload, hashlib.sha256).digest()
+                + payload
+            )
         try:
             with open(tmp, "wb") as handle:
-                pickle.dump(compiled, handle, protocol=pickle.HIGHEST_PROTOCOL)
+                handle.write(payload)
             os.replace(tmp, target)
         except BaseException:
             tmp.unlink(missing_ok=True)
@@ -276,6 +483,11 @@ class PipelineReport:
     # "ets.instantiate" (per-state BFS instantiation).  These refine
     # the "ets" entry of stage_seconds; total_seconds() ignores them.
     substages: Tuple[Tuple[str, float], ...] = ()
+    # Failure/recovery counters: executor retries and serial fallbacks,
+    # cache integrity rejections/quarantines, swallowed load/store
+    # errors.  Empty = nothing went wrong *and* nothing was absorbed;
+    # every absorbed failure shows up here, so nothing fails silently.
+    health: Mapping[str, int] = dataclasses.field(default_factory=dict)
 
     def stage(self, name: str) -> Optional[float]:
         return dict(self.stage_seconds).get(name)
@@ -297,6 +509,11 @@ class PipelineReport:
                     lines.append(f"    {sub:<18s} {sub_seconds:.6f}s")
         for name, value in self.stats:
             lines.append(f"  {name:<22s} {value}")
+        if self.health:
+            for name in sorted(self.health):
+                lines.append(f"  health {name:<22s} {self.health[name]}")
+        else:
+            lines.append("  health ok")
         return "\n".join(lines)
 
 
@@ -336,12 +553,26 @@ class Pipeline:
         self._artifact_key: Optional[str] = None
         self._cache: Optional[ArtifactCache] = None
         self._cache_resolved = False
+        self._health: Dict[str, int] = {}
+
+    def _count(self, counter: str) -> None:
+        self._health[counter] = self._health.get(counter, 0) + 1
+
+    @staticmethod
+    def _stage_boundary(name: str) -> None:
+        """The fault-injection hook at a stage boundary: an injected
+        fault surfaces as a typed :class:`StageError` with provenance."""
+        try:
+            faults.check(f"stage.{name}")
+        except faults.FaultInjected as exc:
+            raise StageError(name, f"stage {name!r} failed: {exc}") from exc
 
     # -- staged artifacts ---------------------------------------------------
 
     @property
     def ets(self) -> ETS:
         if self._ets is None:
+            self._stage_boundary("ets")
             start = time.perf_counter()
             if self.options.symbolic_extract:
                 # The symbolic path splits into the one-shot partial
@@ -376,6 +607,7 @@ class Pipeline:
                 self._nes = self._compiled.nes
             else:
                 ets = self.ets
+                self._stage_boundary("nes")
                 start = time.perf_counter()
                 self._nes = nes_of_ets(ets)
                 self._stage_seconds["nes"] = time.perf_counter() - start
@@ -387,19 +619,30 @@ class Pipeline:
             self._load_artifact()
         if self._compiled is None:
             nes = self.nes
+            self._stage_boundary("compile")
             start = time.perf_counter()
-            self._compiled = compile_nes(nes, self.topology, options=self.options)
+            self._compiled = compile_nes(
+                nes, self.topology, options=self.options, health=self._health
+            )
             self._stage_seconds["compile"] = time.perf_counter() - start
             cache = self._artifact_cache()
             if cache is not None:
                 try:
                     cache.store(self.artifact_key(), self._compiled)
-                except Exception:
+                except Exception as exc:
                     # The cache is an accelerator, never a gate: a full
                     # or unwritable cache_dir, or an artifact pickle
                     # failure, must not discard a compile that already
-                    # succeeded.
-                    pass
+                    # succeeded.  But it must not vanish either — the
+                    # cause is warned once and counted in health.
+                    self._count("cache.store_error")
+                    warnings.warn(
+                        f"artifact cache store failed ({exc!r}); the "
+                        "compiled tables are unaffected but the cache "
+                        "stays cold for this key",
+                        ArtifactCacheWarning,
+                        stacklevel=2,
+                    )
         return self._compiled
 
     def _load_artifact(self) -> None:
@@ -456,12 +699,25 @@ class Pipeline:
             self._cache_resolved = True
             if self.options.cache_dir is not None:
                 try:
-                    self._cache = ArtifactCache(self.options.cache_dir)
-                except OSError:
+                    self._cache = ArtifactCache(
+                        self.options.cache_dir,
+                        hmac_key=self.options.resolved_cache_hmac_key(),
+                        strict=self.options.strict_cache,
+                        health=self._health,
+                    )
+                except Exception as exc:
                     # An uncreatable cache_dir (read-only filesystem,
                     # bad parent) disables the cache; it never aborts
-                    # the compile.
+                    # the compile — but it is counted and warned, not
+                    # silently dropped.
                     self._cache = None
+                    self._count("cache.disabled")
+                    warnings.warn(
+                        f"artifact cache disabled: cannot use cache_dir "
+                        f"{self.options.cache_dir} ({exc!r})",
+                        ArtifactCacheWarning,
+                        stacklevel=3,
+                    )
         return self._cache
 
     # -- reporting ----------------------------------------------------------
@@ -500,6 +756,7 @@ class Pipeline:
             backend=self.options.backend,
             artifact_cache=self._artifact_cache_state,
             substages=substages,
+            health=dict(self._health),
         )
 
     def __repr__(self) -> str:

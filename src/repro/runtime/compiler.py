@@ -18,11 +18,13 @@ so total rule counts include them.
 from __future__ import annotations
 
 import threading
+import time
 import warnings
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Tuple
 
+from .. import faults
 from ..events.event import Event, EventSet
 from ..events.locality import is_locally_determined, locality_violations
 from ..events.nes import NES
@@ -50,6 +52,24 @@ def _default_options():
     return CompileOptions()
 
 
+def _pipeline_errors():
+    # Imported lazily for the same reason.
+    from ..pipeline import PipelineError, StageError
+
+    return PipelineError, StageError
+
+
+# Deterministic exponential backoff between per-configuration retry
+# attempts: no jitter (chaos runs must replay), capped so an exhausted
+# retry budget costs milliseconds, not seconds.
+_BACKOFF_BASE_SECONDS = 0.001
+_BACKOFF_CAP_SECONDS = 0.05
+
+
+def _backoff_delay(attempt: int) -> float:
+    return min(_BACKOFF_BASE_SECONDS * (2 ** attempt), _BACKOFF_CAP_SECONDS)
+
+
 def _compile_configurations(
     nes: NES,
     topology: Topology,
@@ -57,6 +77,7 @@ def _compile_configurations(
     builder: FDDBuilder,
     options,
     shard: bool,
+    health: Optional[Dict[str, int]] = None,
 ) -> Dict[StateVector, Configuration]:
     """Compile every configuration, optionally sharded across threads.
 
@@ -68,32 +89,107 @@ def _compile_configurations(
     keep the output byte-identical to the serial path.  Results are
     gathered in configuration-state order (``executor.map`` preserves
     input order), so iteration order is deterministic too.
+
+    Failure discipline (the fault-tolerance layer):
+
+    - every per-configuration attempt passes the ``executor.worker``
+      fault site and is retried up to ``options.compile_retries`` times
+      with deterministic backoff (counted in ``health``);
+    - ``options.deadline_seconds`` bounds the stage wall clock,
+      checked between attempts (one configuration is never preempted);
+    - a thread pool whose worker fails irrecoverably degrades to the
+      serial path (counted as ``executor.fallback_serial``) — the
+      output is byte-identical by construction, so degradation is
+      invisible outside ``health``;
+    - a failure that survives retry *and* degradation surfaces as a
+      typed :class:`~repro.pipeline.StageError` with stage provenance,
+      never as a bare worker exception.
     """
+    PipelineError, StageError = _pipeline_errors()
+    health = health if health is not None else {}
+
+    def count(counter: str) -> None:
+        health[counter] = health.get(counter, 0) + 1
+
+    retries = options.compile_retries
+    deadline = (
+        time.monotonic() + options.deadline_seconds
+        if options.deadline_seconds is not None
+        else None
+    )
+
+    def check_deadline() -> None:
+        if deadline is not None and time.monotonic() > deadline:
+            raise StageError(
+                "compile",
+                f"deadline_seconds={options.deadline_seconds} exceeded "
+                f"with {len(states)} configuration(s) in flight",
+            )
 
     def compile_with(b: FDDBuilder, state: StateVector) -> Configuration:
-        return compile_policy(
-            nes.configuration_policy(state),
-            topology,
-            builder=b,
-            name=f"C{list(state)}",
-            knowledge_cache=options.knowledge_cache,
-            max_frontier=options.max_frontier,
-        )
+        attempt = 0
+        while True:
+            check_deadline()
+            try:
+                faults.check("executor.worker")
+                return compile_policy(
+                    nes.configuration_policy(state),
+                    topology,
+                    builder=b,
+                    name=f"C{list(state)}",
+                    knowledge_cache=options.knowledge_cache,
+                    max_frontier=options.max_frontier,
+                )
+            except PipelineError:
+                raise  # typed failures (e.g. deadline) are not transient
+            except Exception:
+                if attempt >= retries:
+                    raise
+                count("executor.retries")
+                time.sleep(_backoff_delay(attempt))
+                attempt += 1
 
     if shard and options.backend == "thread" and len(states) > 1:
-        local = threading.local()
+        try:
+            local = threading.local()
 
-        def worker(state: StateVector) -> Configuration:
-            worker_builder = getattr(local, "builder", None)
-            if worker_builder is None:
-                worker_builder = options.make_builder()
-                local.builder = worker_builder
-            return compile_with(worker_builder, state)
+            def worker(state: StateVector) -> Configuration:
+                worker_builder = getattr(local, "builder", None)
+                if worker_builder is None:
+                    worker_builder = options.make_builder()
+                    local.builder = worker_builder
+                return compile_with(worker_builder, state)
 
-        with ThreadPoolExecutor(max_workers=options.max_workers) as pool:
-            configs = list(pool.map(worker, states))
-        return dict(zip(states, configs))
-    return {state: compile_with(builder, state) for state in states}
+            with ThreadPoolExecutor(max_workers=options.max_workers) as pool:
+                configs = list(pool.map(worker, states))
+            return dict(zip(states, configs))
+        except PipelineError:
+            raise  # a deadline miss would only recur serially
+        except Exception as exc:
+            # The pool (or a worker, beyond its retry budget) failed
+            # irrecoverably: degrade to the serial path, which produces
+            # byte-identical tables.  Counted and warned, never silent.
+            count("executor.fallback_serial")
+            warnings.warn(
+                f"thread backend failed ({exc!r}); degrading to the "
+                "serial executor for this compile",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+
+    out: Dict[StateVector, Configuration] = {}
+    for state in states:
+        try:
+            out[state] = compile_with(builder, state)
+        except PipelineError:
+            raise
+        except Exception as exc:
+            raise StageError(
+                "compile",
+                f"configuration C{list(state)} failed after "
+                f"{retries + 1} attempt(s): {exc!r}",
+            ) from exc
+    return out
 
 
 class LocalityError(Exception):
@@ -111,6 +207,7 @@ class CompiledNES:
         builder: Optional[FDDBuilder] = None,
         knowledge_cache=_UNSET,
         options=None,
+        health: Optional[Dict[str, int]] = None,
     ):
         """Compile ``nes`` over ``topology`` under ``options``.
 
@@ -127,6 +224,11 @@ class CompiledNES:
 
         ``knowledge_cache=`` is deprecated; use
         ``CompileOptions(knowledge_cache=...)``.
+
+        ``health`` is an optional counter dict (the pipeline passes its
+        own) that the executor's retry/degradation bookkeeping
+        increments; it is observed during construction only and never
+        stored on the instance (artifacts stay health-free).
         """
         if knowledge_cache is not _UNSET:
             warnings.warn(
@@ -169,7 +271,7 @@ class CompiledNES:
         self.configurations: Dict[StateVector, Configuration] = (
             _compile_configurations(
                 nes, topology, self.states, self._builder, options,
-                shard=builder is None,
+                shard=builder is None, health=health,
             )
         )
 
@@ -315,6 +417,7 @@ def compile_nes(
     enforce_locality=_UNSET,
     knowledge_cache=_UNSET,
     options=None,
+    health: Optional[Dict[str, int]] = None,
 ) -> CompiledNES:
     """Compile an NES, first checking the locally-determined condition.
 
@@ -347,4 +450,6 @@ def compile_nes(
                 f"set {set(sample)} spans multiple switches "
                 f"({len(violations)} violation(s) total)"
             )
-    return CompiledNES(nes, topology, builder=builder, options=options)
+    return CompiledNES(
+        nes, topology, builder=builder, options=options, health=health
+    )

@@ -137,6 +137,47 @@ class TestCompile:
         # The tables themselves are identical either way.
         assert cold.split("pipeline")[0] == warm.split("pipeline")[0]
 
+    def test_report_prints_health(self, firewall_file, tmp_path, capsys):
+        assert main(["compile", firewall_file, "--topology", "firewall",
+                     "--report"]) == 0
+        assert "health ok" in capsys.readouterr().out
+        # A corrupt cache entry surfaces as a counted (never silent)
+        # recovery in the health section.
+        import warnings as warnings_module
+
+        from repro.pipeline import ArtifactCache
+
+        cache = tmp_path / "artifacts"
+        assert main(["compile", firewall_file, "--topology", "firewall",
+                     "--cache-dir", str(cache), "--report"]) == 0
+        capsys.readouterr()
+        entry = next(cache.glob("*.pkl"))
+        entry.write_bytes(b"garbage")
+        with warnings_module.catch_warnings():
+            warnings_module.simplefilter("ignore")
+            assert main(["compile", firewall_file, "--topology", "firewall",
+                         "--cache-dir", str(cache), "--report"]) == 0
+        out = capsys.readouterr().out
+        assert "health cache.load_corrupt" in out
+        assert "health cache.quarantined" in out
+        assert "health ok" not in out
+
+    def test_strict_cache_fails_cleanly_on_tamper(
+        self, firewall_file, tmp_path, capsys, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_CACHE_HMAC_KEY", "cli-test-key")
+        cache = tmp_path / "artifacts"
+        assert main(["compile", firewall_file, "--topology", "firewall",
+                     "--cache-dir", str(cache)]) == 0
+        capsys.readouterr()
+        entry = next(cache.glob("*.pkl"))
+        blob = bytearray(entry.read_bytes())
+        blob[-1] ^= 0x01
+        entry.write_bytes(bytes(blob))
+        assert main(["compile", firewall_file, "--topology", "firewall",
+                     "--cache-dir", str(cache), "--strict-cache"]) == 1
+        assert "FAIL" in capsys.readouterr().out
+
 
 class TestOptimize:
     def test_reports_savings(self, firewall_file, capsys):

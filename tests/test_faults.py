@@ -1,0 +1,626 @@
+"""The seeded chaos suite for the fault-tolerance layer.
+
+Every injected fault must end in exactly one of three outcomes:
+
+1. **retry-success** — the executor's bounded retry (or the thread ->
+   serial degradation) absorbs it and the tables are byte-identical to
+   a fault-free compile;
+2. **clean degradation** — the cache path absorbs it (recorded miss,
+   quarantine, one-shot warning, health counter) and the pipeline
+   recompiles to byte-identical tables;
+3. **a typed error** — ``StageError`` / ``ArtifactIntegrityError`` with
+   stage provenance.
+
+Never wrong tables, and never a stale/forged artifact served.  Fast
+deterministic cases run in the smoke target; the deep randomized plans
+carry ``slow`` on top of ``chaos``.
+"""
+
+import os
+import pickle
+import warnings
+
+import pytest
+
+import repro
+from repro import faults
+from repro.apps import firewall_app, ids_app
+from repro.pipeline import (
+    ArtifactCache,
+    ArtifactCacheWarning,
+    ArtifactIntegrityError,
+    CompileOptions,
+    Pipeline,
+    PipelineError,
+    StageError,
+    _SIGNED_MAGIC,
+)
+
+from seed_apps import guarded_bytes
+
+pytestmark = pytest.mark.chaos
+
+
+@pytest.fixture(autouse=True)
+def _no_leftover_plan():
+    """A test that dies mid-``injected`` must not poison its neighbors."""
+    yield
+    faults.uninstall()
+
+
+def fresh_pipeline(app, options=None):
+    return Pipeline(app.program, app.topology, app.initial_state, options)
+
+
+@pytest.fixture(scope="module")
+def reference_tables():
+    """Fault-free firewall tables, the byte-identity oracle."""
+    return guarded_bytes(fresh_pipeline(firewall_app()).compiled)
+
+
+# ---------------------------------------------------------------------------
+# The FaultPlan registry itself
+# ---------------------------------------------------------------------------
+
+
+class TestFaultPlan:
+    def test_unknown_site_is_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault site"):
+            faults.FaultPlan({"cache.laod": 1.0})
+
+    def test_rule_validation(self):
+        with pytest.raises(ValueError):
+            faults.FaultRule(probability=1.5)
+        with pytest.raises(ValueError):
+            faults.FaultRule(max_fires=-1)
+        with pytest.raises(ValueError):
+            faults.FaultRule(skip=-1)
+
+    def test_float_shorthand(self):
+        plan = faults.FaultPlan({"cache.load": 0.5})
+        assert plan.rules["cache.load"] == faults.FaultRule(probability=0.5)
+
+    def test_same_seed_replays_the_same_schedule(self):
+        def schedule(seed, n=200):
+            plan = faults.FaultPlan({"executor.worker": 0.3}, seed=seed)
+            fired = []
+            for i in range(n):
+                try:
+                    plan.check("executor.worker")
+                except faults.FaultInjected:
+                    fired.append(i)
+            return fired
+
+        assert schedule(7) == schedule(7)
+        assert schedule(7) != schedule(8)
+        # ~30% of hits fire; the stream is seeded, not degenerate.
+        assert 30 <= len(schedule(7)) <= 90
+
+    def test_site_streams_are_independent(self):
+        """Interleaving hits of another site must not perturb a site's
+        own schedule (per-site RNG streams)."""
+
+        def worker_schedule(interleave):
+            plan = faults.FaultPlan(
+                {"executor.worker": 0.3, "cache.load": 0.3}, seed=3
+            )
+            fired = []
+            for i in range(100):
+                if interleave:
+                    try:
+                        plan.check("cache.load")
+                    except faults.FaultInjected:
+                        pass
+                try:
+                    plan.check("executor.worker")
+                except faults.FaultInjected:
+                    fired.append(i)
+            return fired
+
+        assert worker_schedule(False) == worker_schedule(True)
+
+    def test_skip_and_max_fires(self):
+        plan = faults.FaultPlan(
+            {"cache.load": faults.FaultRule(skip=2, max_fires=3)}
+        )
+        outcomes = []
+        for _ in range(8):
+            try:
+                plan.check("cache.load")
+                outcomes.append("pass")
+            except faults.FaultInjected:
+                outcomes.append("fire")
+        assert outcomes == ["pass"] * 2 + ["fire"] * 3 + ["pass"] * 3
+        assert plan.hits("cache.load") == 8
+        assert plan.fires("cache.load") == 3
+
+    def test_exception_carries_site_and_hit(self):
+        plan = faults.FaultPlan({"stage.ets": faults.FaultRule(skip=1)})
+        plan.check("stage.ets")
+        with pytest.raises(faults.FaultInjected) as info:
+            plan.check("stage.ets")
+        assert info.value.site == "stage.ets"
+        assert info.value.hit == 2
+
+    def test_check_without_a_plan_is_a_no_op(self):
+        assert faults.active() is None
+        faults.check("stage.ets")  # must not raise
+
+    def test_install_uninstall_and_no_nesting(self):
+        plan = faults.FaultPlan({})
+        with faults.injected(plan) as installed:
+            assert installed is plan
+            assert faults.active() is plan
+            with pytest.raises(RuntimeError, match="already installed"):
+                faults.install(faults.FaultPlan({}))
+        assert faults.active() is None
+        faults.uninstall()  # idempotent
+        with pytest.raises(TypeError):
+            faults.install("not a plan")
+
+    def test_unruled_sites_never_fire(self):
+        plan = faults.FaultPlan({"cache.load": 1.0})
+        plan.check("cache.store")
+        assert plan.hits("cache.store") == 1
+        assert plan.fires("cache.store") == 0
+
+
+# ---------------------------------------------------------------------------
+# Executor: retry, degradation, deadline
+# ---------------------------------------------------------------------------
+
+
+class TestExecutorRecovery:
+    def test_serial_retry_absorbs_a_transient_worker_fault(self, reference_tables):
+        plan = faults.FaultPlan({"executor.worker": faults.FaultRule(max_fires=1)})
+        with faults.injected(plan):
+            pipeline = fresh_pipeline(firewall_app())
+            assert guarded_bytes(pipeline.compiled) == reference_tables
+        assert plan.fires("executor.worker") == 1
+        assert pipeline.report().health["executor.retries"] == 1
+
+    def test_thread_backend_degrades_to_serial(self, reference_tables):
+        """The acceptance scenario: worker failures in the thread
+        backend, no retry budget -> the pool fails, the pipeline falls
+        back to the serial executor, and the tables are byte-identical,
+        with the recovery visible in health."""
+        plan = faults.FaultPlan({"executor.worker": faults.FaultRule(max_fires=1)})
+        with faults.injected(plan):
+            pipeline = fresh_pipeline(
+                firewall_app(),
+                CompileOptions(backend="thread", compile_retries=0),
+            )
+            with pytest.warns(RuntimeWarning, match="degrading to the serial"):
+                tables = guarded_bytes(pipeline.compiled)
+        assert tables == reference_tables
+        health = pipeline.report().health
+        assert health["executor.fallback_serial"] == 1
+
+    def test_thread_retry_succeeds_without_degrading(self, reference_tables):
+        """With a retry budget, transient worker faults are absorbed
+        inside the pool and no fallback happens."""
+        plan = faults.FaultPlan({"executor.worker": faults.FaultRule(max_fires=2)})
+        with faults.injected(plan):
+            pipeline = fresh_pipeline(
+                firewall_app(),
+                CompileOptions(backend="thread", compile_retries=2, max_workers=2),
+            )
+            assert guarded_bytes(pipeline.compiled) == reference_tables
+        health = pipeline.report().health
+        assert health.get("executor.retries", 0) >= 1
+        assert "executor.fallback_serial" not in health
+
+    @pytest.mark.parametrize("backend", ["serial", "thread"])
+    def test_unbounded_worker_faults_end_in_a_typed_error(self, backend):
+        with faults.injected(faults.FaultPlan({"executor.worker": 1.0})):
+            pipeline = fresh_pipeline(
+                firewall_app(), CompileOptions(backend=backend, compile_retries=1)
+            )
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore")
+                with pytest.raises(StageError) as info:
+                    pipeline.compiled
+        assert info.value.stage == "compile"
+        assert isinstance(info.value, PipelineError)
+
+    def test_retries_are_bounded(self):
+        plan = faults.FaultPlan({"executor.worker": 1.0})
+        with faults.injected(plan):
+            pipeline = fresh_pipeline(
+                firewall_app(), CompileOptions(compile_retries=3)
+            )
+            with pytest.raises(StageError):
+                pipeline.compiled
+        # First configuration: 1 attempt + 3 retries, then typed failure.
+        assert plan.fires("executor.worker") == 4
+
+    @pytest.mark.parametrize("backend", ["serial", "thread"])
+    def test_deadline_exceeded_is_a_typed_error(self, backend):
+        pipeline = fresh_pipeline(
+            firewall_app(),
+            CompileOptions(backend=backend, deadline_seconds=1e-9),
+        )
+        with pytest.raises(StageError, match="deadline_seconds"):
+            pipeline.compiled
+        assert "executor.fallback_serial" not in pipeline.report().health
+
+    def test_generous_deadline_is_invisible(self, reference_tables):
+        pipeline = fresh_pipeline(
+            firewall_app(), CompileOptions(deadline_seconds=300.0)
+        )
+        assert guarded_bytes(pipeline.compiled) == reference_tables
+        assert pipeline.report().health == {}
+
+    def test_deadline_does_not_retry(self):
+        """A deadline miss is not transient: no retry burn-down."""
+        plan = faults.FaultPlan({})
+        with faults.injected(plan):
+            pipeline = fresh_pipeline(
+                firewall_app(),
+                CompileOptions(deadline_seconds=1e-9, compile_retries=5),
+            )
+            with pytest.raises(StageError):
+                pipeline.compiled
+        assert "executor.retries" not in pipeline.report().health
+
+    def test_new_knob_validation(self):
+        with pytest.raises(ValueError):
+            CompileOptions(compile_retries=-1)
+        with pytest.raises(ValueError):
+            CompileOptions(deadline_seconds=0)
+        with pytest.raises(ValueError):
+            CompileOptions(deadline_seconds=-1.0)
+
+
+# ---------------------------------------------------------------------------
+# Stage boundaries
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("stage", ["ets", "nes", "compile"])
+def test_stage_faults_surface_as_stage_errors(stage):
+    with faults.injected(faults.FaultPlan({f"stage.{stage}": 1.0})):
+        pipeline = fresh_pipeline(firewall_app())
+        with pytest.raises(StageError) as info:
+            pipeline.compiled
+    assert info.value.stage == stage
+    assert isinstance(info.value.__cause__, faults.FaultInjected)
+
+
+def test_stage_fault_does_not_poison_the_pipeline():
+    """A stage that failed under a (since-removed) plan can be retried
+    on the same Pipeline object: nothing was cached half-built."""
+    with faults.injected(faults.FaultPlan({"stage.ets": faults.FaultRule(max_fires=1)})):
+        pipeline = fresh_pipeline(firewall_app())
+        with pytest.raises(StageError):
+            pipeline.ets
+        ets = pipeline.ets  # second boundary crossing: the fault is spent
+    assert ets.states()
+
+
+# ---------------------------------------------------------------------------
+# Cache faults: load/store errors are absorbed, warned, and counted
+# ---------------------------------------------------------------------------
+
+
+class TestCacheFaults:
+    def test_load_fault_is_a_recorded_miss(self, tmp_path, reference_tables):
+        app = firewall_app()
+        options = CompileOptions(cache_dir=tmp_path)
+        fresh_pipeline(app, options).compiled  # warm the cache
+
+        with faults.injected(faults.FaultPlan({"cache.load": faults.FaultRule(max_fires=1)})):
+            pipeline = fresh_pipeline(app, options)
+            with pytest.warns(ArtifactCacheWarning, match="load failed"):
+                assert guarded_bytes(pipeline.compiled) == reference_tables
+        report = pipeline.report()
+        assert report.artifact_cache == "miss"
+        assert report.health["cache.load_error"] == 1
+
+    def test_store_fault_keeps_the_compile_and_is_counted(self, tmp_path, reference_tables):
+        app = firewall_app()
+        options = CompileOptions(cache_dir=tmp_path)
+        with faults.injected(faults.FaultPlan({"cache.store": 1.0})):
+            pipeline = fresh_pipeline(app, options)
+            with pytest.warns(ArtifactCacheWarning, match="store failed"):
+                assert guarded_bytes(pipeline.compiled) == reference_tables
+        assert pipeline.report().health["cache.store_error"] == 1
+        # Nothing was written; the next pipeline is a cold miss.
+        rerun = fresh_pipeline(app, options)
+        rerun.compiled
+        assert rerun.report().artifact_cache == "miss"
+
+    def test_corrupt_entry_is_quarantined_not_rereead(self, tmp_path):
+        app = firewall_app()
+        options = CompileOptions(cache_dir=tmp_path)
+        pipeline = fresh_pipeline(app, options)
+        key = pipeline.artifact_key()
+        cache = ArtifactCache(tmp_path)
+        cache.path(key).write_bytes(b"garbage, not a pickle")
+
+        with pytest.warns(ArtifactCacheWarning, match="corrupt"):
+            pipeline.compiled
+        report = pipeline.report()
+        assert report.artifact_cache == "miss"
+        assert report.health["cache.load_corrupt"] == 1
+        assert report.health["cache.quarantined"] == 1
+        assert cache.bad_path(key).exists()
+        # The store repaired the entry; a rerun hits without re-reading
+        # the quarantined bytes.
+        rerun = fresh_pipeline(app, options)
+        rerun.compiled
+        assert rerun.report().artifact_cache == "hit"
+
+    def test_wrong_type_entry_is_quarantined(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        cache.path("k").write_bytes(pickle.dumps({"not": "a CompiledNES"}))
+        with pytest.warns(ArtifactCacheWarning, match="not a CompiledNES"):
+            assert cache.load("k") is None
+        assert cache.bad_path("k").exists()
+        assert cache.health["cache.load_corrupt"] == 1
+
+    def test_cache_warnings_are_one_shot_per_cache(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        cache.path("a").write_bytes(b"junk a")
+        cache.path("b").write_bytes(b"junk b")
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            assert cache.load("a") is None
+            assert cache.load("b") is None
+        assert len([w for w in caught if issubclass(w.category, ArtifactCacheWarning)]) == 1
+        assert cache.health["cache.load_corrupt"] == 2
+
+
+# ---------------------------------------------------------------------------
+# Artifact integrity: the signed cache
+# ---------------------------------------------------------------------------
+
+
+KEY = "chaos-suite-key"
+
+
+class TestSignedArtifacts:
+    def options(self, tmp_path, **overrides):
+        return CompileOptions(cache_dir=tmp_path, cache_hmac_key=KEY, **overrides)
+
+    def test_signed_roundtrip_hits(self, tmp_path, reference_tables):
+        app = firewall_app()
+        options = self.options(tmp_path)
+        cold = fresh_pipeline(app, options)
+        assert guarded_bytes(cold.compiled) == reference_tables
+        blob = ArtifactCache(tmp_path).path(cold.artifact_key()).read_bytes()
+        assert blob.startswith(_SIGNED_MAGIC)
+
+        warm = fresh_pipeline(app, options)
+        assert guarded_bytes(warm.compiled) == reference_tables
+        assert warm.report().artifact_cache == "hit"
+        assert warm.report().health == {}
+
+    @pytest.mark.parametrize("flip_at", ["payload", "digest", "magic"])
+    def test_tampered_artifact_is_rejected_and_recompiled(
+        self, tmp_path, reference_tables, flip_at
+    ):
+        """The acceptance scenario: a bit-flipped signed artifact is an
+        integrity miss, quarantined, and the pipeline recompiles to
+        byte-identical tables."""
+        app = firewall_app()
+        options = self.options(tmp_path)
+        cold = fresh_pipeline(app, options)
+        cold.compiled
+        key = cold.artifact_key()
+        path = ArtifactCache(tmp_path).path(key)
+        blob = bytearray(path.read_bytes())
+        offset = {"magic": 2, "digest": len(_SIGNED_MAGIC) + 5, "payload": len(blob) - 7}
+        blob[offset[flip_at]] ^= 0x04
+        path.write_bytes(bytes(blob))
+
+        pipeline = fresh_pipeline(app, options)
+        with pytest.warns(ArtifactCacheWarning, match="rejected"):
+            assert guarded_bytes(pipeline.compiled) == reference_tables
+        report = pipeline.report()
+        assert report.artifact_cache == "miss"
+        assert report.health["cache.integrity_rejected"] == 1
+        assert report.health["cache.quarantined"] == 1
+        assert ArtifactCache(tmp_path).bad_path(key).exists()
+        # The recompile re-stored a good signed entry: self-healing.
+        rerun = fresh_pipeline(app, options)
+        rerun.compiled
+        assert rerun.report().artifact_cache == "hit"
+
+    def test_strict_cache_raises_on_tamper(self, tmp_path):
+        app = firewall_app()
+        options = self.options(tmp_path)
+        cold = fresh_pipeline(app, options)
+        cold.compiled
+        path = ArtifactCache(tmp_path).path(cold.artifact_key())
+        blob = bytearray(path.read_bytes())
+        blob[-1] ^= 0x01
+        path.write_bytes(bytes(blob))
+
+        strict = fresh_pipeline(app, self.options(tmp_path, strict_cache=True))
+        with pytest.raises(ArtifactIntegrityError, match="HMAC"):
+            strict.compiled
+        assert strict.report().health["cache.integrity_rejected"] == 1
+
+    def test_truncated_signed_artifact_is_rejected(self, tmp_path, reference_tables):
+        app = firewall_app()
+        options = self.options(tmp_path)
+        cold = fresh_pipeline(app, options)
+        cold.compiled
+        path = ArtifactCache(tmp_path).path(cold.artifact_key())
+        blob = path.read_bytes()
+        path.write_bytes(blob[: len(blob) // 2])  # torn write
+
+        pipeline = fresh_pipeline(app, options)
+        with pytest.warns(ArtifactCacheWarning):
+            assert guarded_bytes(pipeline.compiled) == reference_tables
+        assert pipeline.report().health["cache.integrity_rejected"] == 1
+
+    def test_forged_artifact_signed_with_another_key_is_rejected(
+        self, tmp_path, reference_tables
+    ):
+        """A forger without the key cannot get an artifact served: an
+        entry signed under a different key fails verification."""
+        app = firewall_app()
+        pipeline = fresh_pipeline(app, self.options(tmp_path))
+        key = pipeline.artifact_key()
+        forged = ids_app().compiled  # wrong tables entirely
+        ArtifactCache(tmp_path, hmac_key=b"attacker-key").store(key, forged)
+
+        with pytest.warns(ArtifactCacheWarning, match="rejected"):
+            tables = guarded_bytes(pipeline.compiled)
+        assert tables == reference_tables  # never the forged tables
+        assert pipeline.report().health["cache.integrity_rejected"] == 1
+
+    def test_unsigned_entry_in_a_keyed_cache_is_rejected(self, tmp_path, reference_tables):
+        app = firewall_app()
+        unkeyed = CompileOptions(cache_dir=tmp_path)
+        fresh_pipeline(app, unkeyed).compiled  # legacy unsigned entry
+
+        keyed = fresh_pipeline(app, self.options(tmp_path))
+        with pytest.warns(ArtifactCacheWarning, match="unsigned"):
+            assert guarded_bytes(keyed.compiled) == reference_tables
+        assert keyed.report().health["cache.integrity_rejected"] == 1
+        # The keyed recompile stored a signed replacement.
+        rerun = fresh_pipeline(app, self.options(tmp_path))
+        rerun.compiled
+        assert rerun.report().artifact_cache == "hit"
+
+    def test_keyless_reader_still_reads_signed_entries(self, tmp_path, reference_tables):
+        """Cross-format: dropping the key keeps the cache warm (same
+        trust model as the legacy unsigned format)."""
+        app = firewall_app()
+        fresh_pipeline(app, self.options(tmp_path)).compiled
+
+        keyless = fresh_pipeline(app, CompileOptions(cache_dir=tmp_path))
+        assert guarded_bytes(keyless.compiled) == reference_tables
+        assert keyless.report().artifact_cache == "hit"
+
+    def test_env_var_supplies_the_key(self, tmp_path, monkeypatch):
+        app = firewall_app()
+        monkeypatch.setenv("REPRO_CACHE_HMAC_KEY", KEY)
+        options = CompileOptions(cache_dir=tmp_path)
+        assert options.resolved_cache_hmac_key() == KEY.encode()
+        cold = fresh_pipeline(app, options)
+        cold.compiled
+        blob = ArtifactCache(tmp_path).path(cold.artifact_key()).read_bytes()
+        assert blob.startswith(_SIGNED_MAGIC)
+        # The explicit field wins over the environment.
+        explicit = CompileOptions(cache_dir=tmp_path, cache_hmac_key=b"other")
+        assert explicit.resolved_cache_hmac_key() == b"other"
+        monkeypatch.delenv("REPRO_CACHE_HMAC_KEY")
+        assert options.resolved_cache_hmac_key() is None
+
+
+# ---------------------------------------------------------------------------
+# The off-position goldens: the new knobs never change the artifact
+# ---------------------------------------------------------------------------
+
+
+class TestKnobsAreExecutionOnly:
+    def test_byte_identity_across_all_new_knobs(self, tmp_path, reference_tables):
+        app = firewall_app()
+        for options in (
+            CompileOptions(),
+            CompileOptions(cache_hmac_key=KEY, cache_dir=tmp_path / "signed"),
+            CompileOptions(strict_cache=True),
+            CompileOptions(compile_retries=0),
+            CompileOptions(compile_retries=7),
+            CompileOptions(deadline_seconds=600.0),
+        ):
+            assert guarded_bytes(fresh_pipeline(app, options).compiled) == reference_tables
+
+    def test_new_knobs_are_excluded_from_the_artifact_key(self):
+        from repro.pipeline import artifact_digest
+
+        app = firewall_app()
+        base = CompileOptions()
+        reference = artifact_digest(app.program, app.topology, app.initial_state, base)
+        for variant in (
+            base.replace(cache_hmac_key=KEY),
+            base.replace(strict_cache=True),
+            base.replace(compile_retries=9),
+            base.replace(deadline_seconds=1.5),
+        ):
+            assert (
+                artifact_digest(app.program, app.topology, app.initial_state, variant)
+                == reference
+            )
+
+
+# ---------------------------------------------------------------------------
+# Health reporting
+# ---------------------------------------------------------------------------
+
+
+def test_clean_run_reports_empty_health_and_ok_line():
+    pipeline = fresh_pipeline(firewall_app())
+    pipeline.compiled
+    report = pipeline.report()
+    assert report.health == {}
+    assert "health ok" in str(report)
+
+
+def test_health_counters_render_in_the_report():
+    plan = faults.FaultPlan({"executor.worker": faults.FaultRule(max_fires=1)})
+    with faults.injected(plan):
+        pipeline = fresh_pipeline(firewall_app())
+        pipeline.compiled
+    rendered = str(pipeline.report())
+    assert "health executor.retries" in rendered
+    assert "health ok" not in rendered
+
+
+# ---------------------------------------------------------------------------
+# Randomized chaos: any plan, one of the three sanctioned outcomes
+# ---------------------------------------------------------------------------
+
+
+def run_chaos(seed: int, tmp_path, reference: bytes) -> None:
+    """One randomized plan over every site; the pipeline must produce
+    byte-identical tables or a typed error — nothing else."""
+    import random
+
+    rng = random.Random(seed)
+    rules = {}
+    for site in faults.SITES:
+        if rng.random() < 0.7:
+            rules[site] = faults.FaultRule(
+                probability=rng.choice([0.3, 0.6, 1.0]),
+                max_fires=rng.choice([1, 2, 3, None]),
+                skip=rng.choice([0, 0, 1]),
+            )
+    app = firewall_app()
+    options = CompileOptions(
+        cache_dir=tmp_path / f"cache{seed}",
+        cache_hmac_key=KEY,
+        backend=rng.choice(["serial", "thread"]),
+        compile_retries=rng.choice([0, 1, 2]),
+    )
+    with faults.injected(faults.FaultPlan(rules, seed=seed)):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            pipeline = fresh_pipeline(app, options)
+            try:
+                tables = guarded_bytes(pipeline.compiled)
+            except PipelineError as exc:
+                assert exc.stage in ("ets", "nes", "compile", "cache")
+                return
+            assert tables == reference
+    # Whatever the plan did to the cache, a fault-free rerun must also
+    # be right — a stale/forged entry must never have been stored.
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        rerun = fresh_pipeline(app, options)
+        assert guarded_bytes(rerun.compiled) == reference
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_randomized_plans_quick(seed, tmp_path, reference_tables):
+    run_chaos(seed, tmp_path, reference_tables)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", range(8, 60))
+def test_randomized_plans_deep(seed, tmp_path, reference_tables):
+    run_chaos(seed, tmp_path, reference_tables)

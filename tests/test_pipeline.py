@@ -321,11 +321,28 @@ class TestArtifactCache:
     def test_store_failure_leaves_no_tmp_file(self, tmp_path, monkeypatch):
         compiled = firewall_app().compiled
         cache = ArtifactCache(tmp_path)
+        # A pickling failure happens before any file is touched...
         monkeypatch.setattr(
-            pickle, "dump", lambda *a, **k: (_ for _ in ()).throw(OSError("boom"))
+            pickle, "dumps", lambda *a, **k: (_ for _ in ()).throw(OSError("boom"))
         )
         with pytest.raises(OSError):
             cache.store("somekey", compiled)
+        assert list(tmp_path.iterdir()) == []
+        # ...and a write failure after it cleans its temp file up.
+        monkeypatch.undo()
+        real_open = open
+
+        def broken_open(path, *args, **kwargs):
+            handle = real_open(path, *args, **kwargs)
+            if str(path).startswith(str(tmp_path)) and "w" in str(args):
+                handle.close()
+                raise OSError("disk full")
+            return handle
+
+        monkeypatch.setattr("builtins.open", broken_open)
+        with pytest.raises(OSError):
+            cache.store("somekey", compiled)
+        monkeypatch.undo()
         assert list(tmp_path.iterdir()) == []
 
 
