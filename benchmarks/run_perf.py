@@ -9,7 +9,11 @@ Runs each benchmark ``rounds`` times (3 with ``--quick``, 7 otherwise),
 records the per-bench median wall-clock seconds plus per-stage
 (ets/nes/compile, with the ets symbolic-vs-instantiate substage split)
 pipeline timings for the ids, cap-20, and cap-24 apps, and
-writes ``BENCH_compiler_perf.json`` at the repository root.
+writes ``BENCH_compiler_perf.json`` at the repository root.  The
+``cap24_update_latency`` bench times an incremental
+:meth:`repro.pipeline.Pipeline.update` (one initial-state component
+delta) against a warm base pipeline; compare it with the cold
+``cap24_full_compile`` median to read off the incremental speedup.
 ``--backend`` selects the pipeline executor for the full-app compile
 benches (the outputs are byte-identical; only the timing changes).  The file is
 checked in so the perf trajectory is visible PR over PR; re-run this
@@ -41,7 +45,7 @@ from repro.events.locality import (
 )
 from repro.netkat.fdd import FDDBuilder
 from repro.optimize.trie import build_trie, heuristic_order, trie_rule_count
-from repro.pipeline import BACKENDS, CompileOptions, Pipeline
+from repro.pipeline import BACKENDS, CompileOptions, Delta, Pipeline
 from repro.stateful.ets import build_ets
 
 from .bench_compiler_perf import random_link_free_policy
@@ -81,6 +85,22 @@ def _bench_cap20_full_compile(options: CompileOptions) -> None:
 
 def _bench_cap24_full_compile(options: CompileOptions) -> None:
     _pipeline_of(bandwidth_cap_app(24), options).compiled.total_rule_count()
+
+
+# Warm base pipelines for the update-latency bench, keyed by app name
+# and built on the harness's warm-up round, so the timed rounds pay only
+# ``Pipeline.update`` itself -- the incremental recompile latency this
+# bench tracks against the cold ``cap24_full_compile`` median.
+_UPDATE_BASES: Dict[str, Pipeline] = {}
+
+
+def _bench_cap24_update_latency(options: CompileOptions) -> None:
+    base = _UPDATE_BASES.get("cap24")
+    if base is None or base.options is not options:
+        base = _pipeline_of(bandwidth_cap_app(24), options)
+        base.compiled
+        _UPDATE_BASES["cap24"] = base
+    base.update(Delta(set_state=((0, 1),))).compiled
 
 
 # ETS-stage-only cases at depths the per-state walks made painful: the
@@ -131,6 +151,7 @@ BENCHES: Tuple[Tuple[str, Callable[[CompileOptions], None]], ...] = (
     ("cap_chain_nes_conversion_20", _bench_cap_chain_nes_conversion),
     ("cap20_full_compile", _bench_cap20_full_compile),
     ("cap24_full_compile", _bench_cap24_full_compile),
+    ("cap24_update_latency", _bench_cap24_update_latency),
     ("cap28_ets_stage", _bench_cap28_ets_stage),
     ("cap32_ets_stage", _bench_cap32_ets_stage),
     ("wide_locality_8x2", _bench_wide_locality),

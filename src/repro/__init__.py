@@ -50,6 +50,7 @@ from .formula import EQ, Formula, Literal, NE
 from .pipeline import (
     ArtifactIntegrityError,
     CompileOptions,
+    Delta,
     Pipeline,
     PipelineError,
     StageError,
@@ -74,6 +75,7 @@ __all__ = [
     "faults",
     "Pipeline",
     "CompileOptions",
+    "Delta",
     "compile_app",
     "PipelineError",
     "StageError",

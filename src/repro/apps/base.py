@@ -15,12 +15,11 @@ through the per-state reference walks instead.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from functools import cached_property
 from typing import Dict
 
 from ..events.nes import NES
 from ..netkat.ast import Policy
-from ..pipeline import CompileOptions, Pipeline
+from ..pipeline import CompileOptions, Pipeline, _topology_fingerprint
 from ..runtime.compiler import CompiledNES
 from ..runtime.semantics import Runtime
 from ..stateful.ast import StateVector
@@ -45,12 +44,31 @@ class App:
     description: str = ""
     options: CompileOptions = CompileOptions()
 
-    @cached_property
+    @property
     def pipeline(self) -> Pipeline:
-        """The staged compilation pipeline for this app (built once)."""
-        return Pipeline(
+        """The staged compilation pipeline for this app.
+
+        Memoized **keyed on the pipeline's inputs**, not unconditionally:
+        an app whose ``options`` (or other frozen fields) are replaced
+        via ``dataclasses.replace``-style surgery, or whose topology is
+        mutated in place, gets a fresh pipeline instead of stale staged
+        artifacts.  Unchanged inputs keep returning the same pipeline
+        object, so the staged work and the timing report stay shared.
+        """
+        key = (
+            id(self.program),
+            self.initial_state,
+            self.options,
+            _topology_fingerprint(self.topology),
+        )
+        memo = self.__dict__.get("_pipeline_memo")
+        if memo is not None and memo[0] == key:
+            return memo[1]
+        pipeline = Pipeline(
             self.program, self.topology, self.initial_state, self.options
         )
+        object.__setattr__(self, "_pipeline_memo", (key, pipeline))
+        return pipeline
 
     @property
     def ets(self) -> ETS:

@@ -13,8 +13,16 @@ Usage (also via ``python -m repro``)::
 ``health`` counters (executor retries/fallbacks, cache integrity
 rejections, swallowed cache errors); ``health ok`` means nothing was
 absorbed.
+    python -m repro update    program.snk --topology firewall \
+                              [--set-state COMPONENT=VALUE]... \
+                              [--new-program FILE] [--report]
     python -m repro optimize  program.snk --topology firewall
     python -m repro apps
+
+``update`` compiles the program cold, applies the delta
+(:class:`repro.pipeline.Delta`), and recompiles **incrementally**
+through :meth:`repro.pipeline.Pipeline.update`, printing the updated
+tables and how much of the previous build was reused.
 
 Programs are written in the concrete syntax of
 :mod:`repro.netkat.parser`; ``--topology`` selects one of the built-in
@@ -34,7 +42,7 @@ from .events.locality import is_locally_determined, locality_violations
 from .netkat.flowtable import TagFieldError
 from .netkat.parser import ParseError, parse_policy
 from .optimize.sharing import optimize_compiled_nes
-from .pipeline import BACKENDS, CompileOptions, Pipeline, PipelineError
+from .pipeline import BACKENDS, CompileOptions, Delta, Pipeline, PipelineError
 from .runtime.compiler import LocalityError
 from .stateful.ast import StateVector
 from .stateful.ets import build_ets
@@ -155,6 +163,60 @@ def _cmd_compile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _set_state_of(specs: Sequence[str]):
+    updates = []
+    for spec in specs:
+        component, sep, value = spec.partition("=")
+        try:
+            if not sep:
+                raise ValueError(spec)
+            updates.append((int(component), int(value)))
+        except ValueError:
+            raise SystemExit(
+                f"--set-state must be COMPONENT=VALUE with ints, got {spec!r}"
+            )
+    return tuple(updates)
+
+
+def _cmd_update(args: argparse.Namespace) -> int:
+    """Compile, apply a delta, and recompile incrementally."""
+    program = _load_program(args.program)
+    topology = _topology_of(args.topology)
+    replace = with_ = None
+    if args.new_program is not None:
+        replace, with_ = program, _load_program(args.new_program)
+    pipeline = Pipeline(program, topology, _initial_of(args.initial))
+    try:
+        delta = Delta(
+            set_state=_set_state_of(args.set_state),
+            replace_policy=replace,
+            with_policy=with_,
+        )
+        pipeline.compiled  # cold build the base artifacts
+        updated = pipeline.update(delta)
+        tables = updated.compiled.guarded_tables()
+    except (ETSConversionError, LocalityError, TagFieldError, PipelineError,
+            ValueError) as exc:
+        print(f"FAIL: {exc}")
+        return 1
+    print(f"{updated.compiled}\n")
+    for switch, table in sorted(tables.items()):
+        print(f"switch {switch} ({len(table)} rules):")
+        for rule in table:
+            print(f"  {rule!r}")
+    stats = dict(updated.report().stats)
+    print(
+        f"\nreuse: {stats['update.reuse_percent']}% of configurations "
+        f"({stats['update.configurations_reused']} reused, "
+        f"{stats['update.configurations_recompiled']} recompiled; "
+        f"ETS states: {stats['update.states_reused']} reused, "
+        f"{stats['update.states_reinstantiated']} reinstantiated)"
+    )
+    if args.report:
+        print(f"\n{updated.report()}")
+    return 0
+
+
 def _cmd_optimize(args: argparse.Namespace) -> int:
     program = _load_program(args.program)
     topology = _topology_of(args.topology)
@@ -255,6 +317,27 @@ def build_arg_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print per-stage pipeline timings and stats (including the "
         "ets symbolic-vs-instantiate split)",
+    )
+    add_program_command("update", _cmd_update,
+                        "recompile incrementally after a delta", True)
+    update_cmd = sub.choices["update"]
+    update_cmd.add_argument(
+        "--set-state",
+        action="append",
+        default=[],
+        metavar="COMPONENT=VALUE",
+        help="overwrite one initial-state component (repeatable)",
+    )
+    update_cmd.add_argument(
+        "--new-program",
+        default=None,
+        metavar="FILE",
+        help="replace the whole program with this source file",
+    )
+    update_cmd.add_argument(
+        "--report",
+        action="store_true",
+        help="print per-stage pipeline timings and stats for the update",
     )
     add_program_command("optimize", _cmd_optimize,
                         "report the section 5.3 rule sharing", True)

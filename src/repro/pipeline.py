@@ -43,22 +43,31 @@ import time
 import warnings
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple, Union
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
 from . import faults
 from .events.ets_to_nes import nes_of_ets
 from .events.nes import NES
+from .netkat import ast as _ast
 from .netkat.ast import Policy
 from .netkat.fdd import DEFAULT_FIELD_ORDER, FDDBuilder
 from .runtime.compiler import TAG_FIELD, CompiledNES, compile_nes
-from .stateful.ast import StateVector
+from .stateful.ast import StateVector, vector_update
 from .stateful.ets import ETS, build_ets
-from .stateful.symbolic import SymbolicProgram
+from .stateful.events import extract
+from .stateful.projection import project
+from .stateful.symbolic import (
+    StateGuard,
+    SymbolicProgram,
+    changed_cell_guards,
+    changed_edge_guards,
+)
 from .topology import Topology
 
 __all__ = [
     "BACKENDS",
     "CompileOptions",
+    "Delta",
     "Pipeline",
     "PipelineReport",
     "ArtifactCache",
@@ -306,6 +315,11 @@ def artifact_digest(
 _SIGNED_MAGIC = b"repro-signed-artifact\x00"
 _HMAC_SIZE = hashlib.sha256().digest_size
 
+# Quarantine slots kept per key (<key>.pkl.bad, .bad.1, ...) before the
+# last slot is recycled; earlier forensic copies are never overwritten
+# by a later rejection of the same key.
+_QUARANTINE_SLOTS = 5
+
 
 class ArtifactCache:
     """Pickled :class:`CompiledNES` artifacts under ``root/<digest>.pkl``.
@@ -350,9 +364,15 @@ class ArtifactCache:
     def path(self, key: str) -> Path:
         return self.root / f"{key}.pkl"
 
-    def bad_path(self, key: str) -> Path:
-        """Where a corrupt/unverifiable entry for ``key`` is quarantined."""
-        return self.root / f"{key}.pkl.bad"
+    def bad_path(self, key: str, slot: int = 0) -> Path:
+        """Where a corrupt/unverifiable entry for ``key`` is quarantined.
+
+        Repeated rejections of one key fill numbered slots (``.bad``,
+        ``.bad.1``, ... up to ``_QUARANTINE_SLOTS``), so an earlier
+        forensic copy survives later rejections.
+        """
+        suffix = ".bad" if slot == 0 else f".bad.{slot}"
+        return self.root / f"{key}.pkl{suffix}"
 
     # -- failure bookkeeping ------------------------------------------------
 
@@ -366,9 +386,22 @@ class ArtifactCache:
 
     def _quarantine(self, key: str) -> None:
         """Move the entry aside so it is never re-read and re-rejected;
-        best-effort (a read-only cache just leaves it in place)."""
+        best-effort (a read-only cache just leaves it in place).
+
+        The first free quarantine slot is used, so repeated rejections
+        of the same key preserve the earlier forensic copies instead of
+        silently overwriting the single ``.bad`` file; past the slot
+        bound, the last slot is recycled.  Each successful quarantine is
+        counted.
+        """
+        target = self.bad_path(key, _QUARANTINE_SLOTS - 1)
+        for slot in range(_QUARANTINE_SLOTS):
+            candidate = self.bad_path(key, slot)
+            if not candidate.exists():
+                target = candidate
+                break
         try:
-            os.replace(self.path(key), self.bad_path(key))
+            os.replace(self.path(key), target)
             self._count("cache.quarantined")
         except OSError:
             pass
@@ -405,6 +438,15 @@ class ArtifactCache:
         payload = blob
         if blob.startswith(_SIGNED_MAGIC):
             header_end = len(_SIGNED_MAGIC) + _HMAC_SIZE
+            if len(blob) < header_end:
+                # A torn write that truncated inside the magic+HMAC
+                # header: recognizably a signed entry, but without a
+                # complete signature.  Reject it for keyed AND keyless
+                # readers — slicing through it would hand pickle.loads
+                # garbage bytes and miscount this as a generic corrupt
+                # load instead of an integrity rejection.
+                self._reject(key, "torn signed header (truncated entry)")
+                return None
             digest, payload = blob[len(_SIGNED_MAGIC):header_end], blob[header_end:]
             if self.hmac_key is not None:
                 want = hmac.new(self.hmac_key, payload, hashlib.sha256).digest()
@@ -460,6 +502,154 @@ class ArtifactCache:
 
 
 # ---------------------------------------------------------------------------
+# Deltas: the inputs of incremental recompilation
+# ---------------------------------------------------------------------------
+
+
+def _substitute_policy(
+    p: Policy, old: Policy, new: Policy, hits: List[int]
+) -> Policy:
+    """Rebuild ``p`` with every subterm equal to ``old`` replaced by
+    ``new``, counting replacements in ``hits[0]``.
+
+    The walk is deterministic and shape-preserving (plain constructors,
+    no smart-constructor normalization), and returns untouched subtrees
+    by identity — the post-delta program shares every unchanged node
+    with the original, which is what lets the symbolic layer's id-keyed
+    memos and the guard diff localize the blast radius.
+    """
+    if p == old:
+        hits[0] += 1
+        return new
+    if isinstance(p, _ast.Seq):
+        left = _substitute_policy(p.left, old, new, hits)
+        right = _substitute_policy(p.right, old, new, hits)
+        return p if left is p.left and right is p.right else _ast.Seq(left, right)
+    if isinstance(p, _ast.Union):
+        left = _substitute_policy(p.left, old, new, hits)
+        right = _substitute_policy(p.right, old, new, hits)
+        return p if left is p.left and right is p.right else _ast.Union(left, right)
+    if isinstance(p, _ast.Star):
+        operand = _substitute_policy(p.operand, old, new, hits)
+        return p if operand is p.operand else _ast.Star(operand)
+    return p  # leaves w.r.t. policy children: filters, assigns, links, dup
+
+
+@dataclass(frozen=True)
+class Delta:
+    """One small change to a pipeline's inputs (the unit of
+    :meth:`Pipeline.update`).
+
+    - ``set_state``: ``(component, value)`` writes applied to the
+      initial state vector (the same shape as a link update's state
+      writes).
+    - ``replace_policy`` / ``with_policy``: substitute every occurrence
+      of one sub-policy (matched by structural equality) with another;
+      both must be given together, and the old sub-policy must occur.
+    - ``topology``: a replacement topology (``None`` = unchanged).
+
+    An all-defaults delta is a valid no-op (everything reuses).
+    """
+
+    set_state: Tuple[Tuple[int, int], ...] = ()
+    replace_policy: Optional[Policy] = None
+    with_policy: Optional[Policy] = None
+    topology: Optional[Topology] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self,
+            "set_state",
+            tuple((int(m), int(n)) for m, n in self.set_state),
+        )
+        if (self.replace_policy is None) != (self.with_policy is None):
+            raise ValueError(
+                "replace_policy and with_policy must be given together"
+            )
+
+    def apply_program(self, program: Policy) -> Policy:
+        """The post-delta program (``program`` itself when unchanged)."""
+        if self.replace_policy is None or self.replace_policy == self.with_policy:
+            return program
+        hits = [0]
+        substituted = _substitute_policy(
+            program, self.replace_policy, self.with_policy, hits
+        )
+        if not hits[0]:
+            raise ValueError(
+                f"replace_policy {self.replace_policy!r} does not occur "
+                "in the program"
+            )
+        return substituted
+
+    def apply_initial_state(self, initial: StateVector) -> StateVector:
+        """The post-delta initial state vector."""
+        initial = tuple(initial)
+        if not self.set_state:
+            return initial
+        for component, _ in self.set_state:
+            if not 0 <= component < len(initial):
+                raise ValueError(
+                    f"set_state component {component} out of range for a "
+                    f"{len(initial)}-component state vector"
+                )
+        return vector_update(initial, self.set_state)
+
+    def apply_topology(self, topology: Topology) -> Topology:
+        """The post-delta topology."""
+        return self.topology if self.topology is not None else topology
+
+
+class _PatchedInstantiation:
+    """The ``build_ets`` instantiation source for :meth:`Pipeline.update`.
+
+    States outside the delta's blast radius are served from the previous
+    ETS, reusing its already-instantiated edge and configuration
+    objects; affected (or newly reached) states fall through to the
+    fresh per-state source.  ``edge_guards`` / ``cell_guards`` of
+    ``None`` mean the blast radius is unknown — every state is fresh.
+    """
+
+    def __init__(
+        self,
+        fresh_edges,
+        fresh_config,
+        old_ets: Optional[ETS],
+        edge_guards: Optional[FrozenSet[StateGuard]],
+        cell_guards: Optional[FrozenSet[StateGuard]],
+    ):
+        self._fresh_edges = fresh_edges
+        self._fresh_config = fresh_config
+        self._old = old_ets
+        self._old_states = (
+            frozenset(old_ets.states()) if old_ets is not None else frozenset()
+        )
+        self._edge_guards = edge_guards
+        self._cell_guards = cell_guards
+        self.seen: set = set()
+        self.fresh: set = set()
+
+    def _unaffected(self, state, guards) -> bool:
+        if guards is None or state not in self._old_states:
+            return False
+        return not any(g.holds(state) for g in guards)
+
+    def edges_at(self, state):
+        self.seen.add(state)
+        if self._unaffected(state, self._edge_guards):
+            return self._old.out_edges(state)
+        self.fresh.add(state)
+        return self._fresh_edges(state)
+
+    def configuration_at(self, state):
+        self.seen.add(state)
+        if self._unaffected(state, self._cell_guards):
+            return self._old.configuration(state)
+        self.fresh.add(state)
+        return self._fresh_config(state)
+
+
+# ---------------------------------------------------------------------------
 # The pipeline façade
 # ---------------------------------------------------------------------------
 
@@ -482,6 +672,10 @@ class PipelineReport:
     # "ets.symbolic" (the one partial-evaluation pass) and
     # "ets.instantiate" (per-state BFS instantiation).  These refine
     # the "ets" entry of stage_seconds; total_seconds() ignores them.
+    # A pipeline produced by Pipeline.update() additionally carries an
+    # "update.delta" substage (delta application + blast-radius diff)
+    # and "update.*" entries in stats (reinstantiation/recompile/reuse
+    # counters).
     substages: Tuple[Tuple[str, float], ...] = ()
     # Failure/recovery counters: executor retries and serial fallbacks,
     # cache integrity rejections/quarantines, swallowed load/store
@@ -507,6 +701,12 @@ class PipelineReport:
             for sub, sub_seconds in self.substages:
                 if sub.startswith(f"{name}."):
                     lines.append(f"    {sub:<18s} {sub_seconds:.6f}s")
+        # Substages refining no stage that ran (e.g. "update.delta"):
+        # printed in a trailing block so they stay visible.
+        stages_shown = {name for name, _ in self.stage_seconds}
+        for sub, sub_seconds in self.substages:
+            if sub.split(".", 1)[0] not in stages_shown:
+                lines.append(f"    {sub:<18s} {sub_seconds:.6f}s")
         for name, value in self.stats:
             lines.append(f"  {name:<22s} {value}")
         if self.health:
@@ -547,8 +747,10 @@ class Pipeline:
         self._ets: Optional[ETS] = None
         self._nes: Optional[NES] = None
         self._compiled: Optional[CompiledNES] = None
+        self._symbolic: Optional[SymbolicProgram] = None
         self._stage_seconds: Dict[str, float] = {}
         self._substage_seconds: Dict[str, float] = {}
+        self._update_stats: Dict[str, int] = {}
         self._artifact_cache_state: Optional[str] = None
         self._artifact_key: Optional[str] = None
         self._cache: Optional[ArtifactCache] = None
@@ -578,8 +780,11 @@ class Pipeline:
                 # The symbolic path splits into the one-shot partial
                 # evaluation and the per-state BFS instantiation; the
                 # report carries both (the "ets.*" substages) alongside
-                # the stage total.
+                # the stage total.  The engine is retained: update()
+                # diffs it against the post-delta program's to localize
+                # a delta's blast radius.
                 symbolic = SymbolicProgram(self.program)
+                self._symbolic = symbolic
                 mid = time.perf_counter()
                 self._ets = build_ets(
                     self.program, self.initial_state, symbolic=symbolic
@@ -625,25 +830,30 @@ class Pipeline:
                 nes, self.topology, options=self.options, health=self._health
             )
             self._stage_seconds["compile"] = time.perf_counter() - start
-            cache = self._artifact_cache()
-            if cache is not None:
-                try:
-                    cache.store(self.artifact_key(), self._compiled)
-                except Exception as exc:
-                    # The cache is an accelerator, never a gate: a full
-                    # or unwritable cache_dir, or an artifact pickle
-                    # failure, must not discard a compile that already
-                    # succeeded.  But it must not vanish either — the
-                    # cause is warned once and counted in health.
-                    self._count("cache.store_error")
-                    warnings.warn(
-                        f"artifact cache store failed ({exc!r}); the "
-                        "compiled tables are unaffected but the cache "
-                        "stays cold for this key",
-                        ArtifactCacheWarning,
-                        stacklevel=2,
-                    )
+            self._store_artifact()
         return self._compiled
+
+    def _store_artifact(self) -> None:
+        """Best-effort store of ``_compiled`` under this pipeline's key."""
+        cache = self._artifact_cache()
+        if cache is None or self._compiled is None:
+            return
+        try:
+            cache.store(self.artifact_key(), self._compiled)
+        except Exception as exc:
+            # The cache is an accelerator, never a gate: a full
+            # or unwritable cache_dir, or an artifact pickle
+            # failure, must not discard a compile that already
+            # succeeded.  But it must not vanish either — the
+            # cause is warned once and counted in health.
+            self._count("cache.store_error")
+            warnings.warn(
+                f"artifact cache store failed ({exc!r}); the "
+                "compiled tables are unaffected but the cache "
+                "stays cold for this key",
+                ArtifactCacheWarning,
+                stacklevel=3,
+            )
 
     def _load_artifact(self) -> None:
         """Populate ``_compiled`` from the artifact cache on a hit.
@@ -679,6 +889,200 @@ class Pipeline:
         """The deployable merged tables of the compiled artifact
         (guarded by ``tag_field``, default ``options.tag_field``)."""
         return self.compiled.guarded_tables(tag_field)
+
+    # -- incremental recompilation ------------------------------------------
+
+    def update(self, delta: Delta) -> "Pipeline":
+        """Recompile after ``delta``, reusing every unaffected artifact.
+
+        Returns a **new** :class:`Pipeline` for the post-delta inputs
+        with its staged artifacts populated; this pipeline is untouched
+        and stays valid for the pre-delta program.  The contract is byte
+        identity: the result's guarded tables equal a cold pipeline
+        built on the post-delta inputs, because reuse happens only where
+        the change provably cannot reach —
+
+        - the retained :class:`SymbolicProgram` is reused outright when
+          the program is unchanged; when it changed, the guard diff of
+          the two partial evaluations (:func:`changed_edge_guards` /
+          :func:`changed_cell_guards`) localizes the blast radius;
+        - ETS states satisfying no changed guard keep their instantiated
+          edges/configurations from the previous ETS;
+        - NES conversion reruns only if the patched ETS differs from the
+          previous one at all (the event/edge set or a configuration
+          changed);
+        - per-configuration tables recompile only where the
+          configuration policy or the topology changed (tables are a
+          pure function of policy + topology + field order), through the
+          ``reuse_configurations`` executor seam.
+
+        The result's :meth:`report` carries ``update.*`` stats (states
+        reinstantiated/reused, configurations recompiled/reused, reuse
+        ratio) and an ``update.delta`` substage; its
+        :meth:`artifact_key` reflects the post-delta program, and with a
+        cache configured the artifact is consulted under — and stored
+        to — that key, so the cache stays correct.
+        """
+        t_delta = time.perf_counter()
+        new_program = delta.apply_program(self.program)
+        new_topology = delta.apply_topology(self.topology)
+        new_initial = delta.apply_initial_state(self.initial_state)
+        updated = Pipeline(new_program, new_topology, new_initial, self.options)
+
+        # Force the source once (the production shape: updates arrive at
+        # an already-compiled pipeline), but reuse the ETS/symbolic
+        # stages only if the source actually ran them — a warm-cache
+        # source never did, and re-running them here would defeat its
+        # cache hit.
+        old_compiled = self.compiled
+        old_nes = self.nes
+        old_ets = self._ets
+        old_symbolic = self._symbolic
+
+        # A warm artifact under the post-delta key beats any patching.
+        updated._load_artifact()
+        if updated._compiled is not None:
+            updated._update_stats = {
+                "update.states_reinstantiated": 0,
+                "update.states_reused": 0,
+                "update.configurations_recompiled": 0,
+                "update.configurations_reused": len(updated._compiled.states),
+                "update.reuse_percent": 100,
+            }
+            updated._substage_seconds["update.delta"] = (
+                time.perf_counter() - t_delta
+            )
+            return updated
+
+        program_changed = new_program is not self.program
+        topology_changed = delta.topology is not None and (
+            _topology_fingerprint(new_topology)
+            != _topology_fingerprint(self.topology)
+        )
+
+        # Blast radius from the symbolic guard diff.  ``None`` guards
+        # mean unknown (no diffable engine): every state is affected.
+        symbolic: Optional[SymbolicProgram] = None
+        edge_guards: Optional[FrozenSet[StateGuard]] = None
+        cell_guards: Optional[FrozenSet[StateGuard]] = None
+        sym_seconds = 0.0
+        if self.options.symbolic_extract:
+            if not program_changed:
+                symbolic = old_symbolic  # may be None (warm source)
+                edge_guards = cell_guards = frozenset()
+            else:
+                t_sym = time.perf_counter()
+                symbolic = SymbolicProgram(new_program)
+                sym_seconds = time.perf_counter() - t_sym
+                if old_symbolic is not None:
+                    edge_guards = changed_edge_guards(
+                        old_symbolic.extraction, symbolic.extraction
+                    )
+                    cell_guards = changed_cell_guards(
+                        old_symbolic.cells, symbolic.cells
+                    )
+        elif not program_changed:
+            # Reference path (per-state walks): nothing to diff, but an
+            # unchanged program reuses every previous state verbatim.
+            edge_guards = cell_guards = frozenset()
+        updated._substage_seconds["update.delta"] = (
+            time.perf_counter() - t_delta - sym_seconds
+        )
+
+        # Fresh per-state fallbacks for affected/new states.  Under
+        # symbolic_extract the engine is built lazily: a fully-reused
+        # instantiation (the common no-op / state-only delta) never pays
+        # for a partial evaluation it does not use.
+        if self.options.symbolic_extract:
+            def _ensure_symbolic() -> SymbolicProgram:
+                nonlocal symbolic, sym_seconds
+                if symbolic is None:
+                    t0 = time.perf_counter()
+                    symbolic = SymbolicProgram(new_program)
+                    sym_seconds += time.perf_counter() - t0
+                return symbolic
+
+            fresh_edges = lambda s: _ensure_symbolic().edges_at(s)  # noqa: E731
+            fresh_config = lambda s: _ensure_symbolic().configuration_at(s)  # noqa: E731
+        else:
+            fresh_edges = lambda s: extract(new_program, s).edges  # noqa: E731
+            fresh_config = lambda s: project(new_program, s)  # noqa: E731
+
+        # Stage 1: the patched ETS.
+        self._stage_boundary("ets")
+        eager_sym_seconds = sym_seconds  # built before the ets window
+        t_ets = time.perf_counter()
+        source = _PatchedInstantiation(
+            fresh_edges, fresh_config, old_ets, edge_guards, cell_guards
+        )
+        new_ets = build_ets(new_program, new_initial, symbolic=source)
+        ets_seconds = time.perf_counter() - t_ets
+        lazy_sym_seconds = sym_seconds - eager_sym_seconds
+        updated._ets = new_ets
+        updated._symbolic = symbolic
+        updated._stage_seconds["ets"] = ets_seconds + eager_sym_seconds
+        if self.options.symbolic_extract:
+            updated._substage_seconds["ets.symbolic"] = sym_seconds
+            updated._substage_seconds["ets.instantiate"] = (
+                ets_seconds - lazy_sym_seconds
+            )
+
+        # Stage 2: NES conversion, only if the ETS changed at all.  The
+        # NES carries the configuration policies too, so a changed
+        # vertex labeling (not just a changed event/edge set) reruns the
+        # conversion — including its unique-configuration and
+        # finite-completeness checks, which the delta may newly violate.
+        if (
+            old_ets is not None
+            and new_ets.initial == old_ets.initial
+            and new_ets.edges == old_ets.edges
+            and new_ets.vertices == old_ets.vertices
+        ):
+            updated._nes = old_nes
+        else:
+            self._stage_boundary("nes")
+            t_nes = time.perf_counter()
+            updated._nes = nes_of_ets(new_ets)
+            updated._stage_seconds["nes"] = time.perf_counter() - t_nes
+        nes = updated._nes
+
+        # Stage 3: compile, adopting every configuration whose policy
+        # and topology are unchanged (byte-identical by purity).
+        self._stage_boundary("compile")
+        t_compile = time.perf_counter()
+        reuse: Dict[StateVector, object] = {}
+        if not topology_changed:
+            for state in nes.configuration_states():
+                previous = old_compiled.configurations.get(state)
+                if previous is None:
+                    continue
+                old_policy = old_nes.configuration_policy(state)
+                new_policy = nes.configuration_policy(state)
+                if new_policy is old_policy or new_policy == old_policy:
+                    reuse[state] = previous
+        updated._compiled = compile_nes(
+            nes,
+            new_topology,
+            options=self.options,
+            health=updated._health,
+            reuse_configurations=reuse,
+        )
+        updated._stage_seconds["compile"] = time.perf_counter() - t_compile
+        updated._store_artifact()
+
+        total = len(updated._compiled.states)
+        reused_configs = len(reuse)
+        fresh_states = len(source.fresh)
+        updated._update_stats = {
+            "update.states_reinstantiated": fresh_states,
+            "update.states_reused": len(source.seen) - fresh_states,
+            "update.configurations_recompiled": total - reused_configs,
+            "update.configurations_reused": reused_configs,
+            "update.reuse_percent": (
+                int(round(100 * reused_configs / total)) if total else 100
+            ),
+        }
+        return updated
 
     # -- artifact cache -----------------------------------------------------
 
@@ -739,11 +1143,13 @@ class Pipeline:
             forwarding = compiled.config_rule_count()
             stats["forwarding_rules"] = forwarding
             stats["total_rules"] = forwarding + compiled.stamp_rule_count()
+        if self._update_stats:
+            stats.update(self._update_stats)
         order = {"ets": 0, "nes": 1, "compile": 2}
         timings = tuple(
             sorted(self._stage_seconds.items(), key=lambda kv: order[kv[0]])
         )
-        sub_order = {"ets.symbolic": 0, "ets.instantiate": 1}
+        sub_order = {"ets.symbolic": 0, "ets.instantiate": 1, "update.delta": 2}
         substages = tuple(
             sorted(
                 self._substage_seconds.items(),

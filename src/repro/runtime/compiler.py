@@ -78,6 +78,7 @@ def _compile_configurations(
     options,
     shard: bool,
     health: Optional[Dict[str, int]] = None,
+    reuse: Optional[Mapping[StateVector, Configuration]] = None,
 ) -> Dict[StateVector, Configuration]:
     """Compile every configuration, optionally sharded across threads.
 
@@ -89,6 +90,17 @@ def _compile_configurations(
     keep the output byte-identical to the serial path.  Results are
     gathered in configuration-state order (``executor.map`` preserves
     input order), so iteration order is deterministic too.
+
+    ``reuse`` maps states to already-compiled configurations that are
+    adopted as-is (the incremental-recompilation seam:
+    :meth:`repro.pipeline.Pipeline.update` passes the unaffected
+    configurations of the pre-delta artifact).  Because tables are a
+    pure function of (policy, topology, field order), a reused
+    configuration is byte-identical to what a fresh compile would
+    produce — the caller is responsible for only offering entries whose
+    policy and topology are unchanged.  The result dict is built in
+    ``states`` order regardless, so reuse never perturbs iteration (or
+    pickle) order.
 
     Failure discipline (the fault-tolerance layer):
 
@@ -111,6 +123,18 @@ def _compile_configurations(
     def count(counter: str) -> None:
         health[counter] = health.get(counter, 0) + 1
 
+    reuse = reuse if reuse is not None else {}
+    pending: Tuple[StateVector, ...] = tuple(
+        state for state in states if state not in reuse
+    )
+
+    def assemble(fresh: Mapping[StateVector, Configuration]):
+        # States order, whatever mix of reused/fresh produced the parts.
+        return {
+            state: reuse[state] if state in reuse else fresh[state]
+            for state in states
+        }
+
     retries = options.compile_retries
     deadline = (
         time.monotonic() + options.deadline_seconds
@@ -123,7 +147,7 @@ def _compile_configurations(
             raise StageError(
                 "compile",
                 f"deadline_seconds={options.deadline_seconds} exceeded "
-                f"with {len(states)} configuration(s) in flight",
+                f"with {len(pending)} configuration(s) in flight",
             )
 
     def compile_with(b: FDDBuilder, state: StateVector) -> Configuration:
@@ -149,7 +173,7 @@ def _compile_configurations(
                 time.sleep(_backoff_delay(attempt))
                 attempt += 1
 
-    if shard and options.backend == "thread" and len(states) > 1:
+    if shard and options.backend == "thread" and len(pending) > 1:
         try:
             local = threading.local()
 
@@ -161,8 +185,8 @@ def _compile_configurations(
                 return compile_with(worker_builder, state)
 
             with ThreadPoolExecutor(max_workers=options.max_workers) as pool:
-                configs = list(pool.map(worker, states))
-            return dict(zip(states, configs))
+                configs = list(pool.map(worker, pending))
+            return assemble(dict(zip(pending, configs)))
         except PipelineError:
             raise  # a deadline miss would only recur serially
         except Exception as exc:
@@ -178,7 +202,7 @@ def _compile_configurations(
             )
 
     out: Dict[StateVector, Configuration] = {}
-    for state in states:
+    for state in pending:
         try:
             out[state] = compile_with(builder, state)
         except PipelineError:
@@ -189,7 +213,7 @@ def _compile_configurations(
                 f"configuration C{list(state)} failed after "
                 f"{retries + 1} attempt(s): {exc!r}",
             ) from exc
-    return out
+    return assemble(out)
 
 
 class LocalityError(Exception):
@@ -208,6 +232,9 @@ class CompiledNES:
         knowledge_cache=_UNSET,
         options=None,
         health: Optional[Dict[str, int]] = None,
+        reuse_configurations: Optional[
+            Mapping[StateVector, Configuration]
+        ] = None,
     ):
         """Compile ``nes`` over ``topology`` under ``options``.
 
@@ -229,6 +256,14 @@ class CompiledNES:
         own) that the executor's retry/degradation bookkeeping
         increments; it is observed during construction only and never
         stored on the instance (artifacts stay health-free).
+
+        ``reuse_configurations`` maps states to already-compiled
+        configurations adopted without recompiling (see
+        :func:`_compile_configurations`); entries for states this NES
+        does not have are ignored.  Callers must only offer entries
+        whose policy and topology are unchanged — tables are a pure
+        function of those, so adopted entries are byte-identical to a
+        fresh compile.
         """
         if knowledge_cache is not _UNSET:
             warnings.warn(
@@ -272,6 +307,7 @@ class CompiledNES:
             _compile_configurations(
                 nes, topology, self.states, self._builder, options,
                 shard=builder is None, health=health,
+                reuse=reuse_configurations,
             )
         )
 
@@ -418,6 +454,7 @@ def compile_nes(
     knowledge_cache=_UNSET,
     options=None,
     health: Optional[Dict[str, int]] = None,
+    reuse_configurations: Optional[Mapping[StateVector, Configuration]] = None,
 ) -> CompiledNES:
     """Compile an NES, first checking the locally-determined condition.
 
@@ -426,7 +463,8 @@ def compile_nes(
     compilation refuses them.  ``options`` is a
     :class:`repro.pipeline.CompileOptions`; ``enforce_locality=`` as a
     direct keyword still works, and ``knowledge_cache=`` is deprecated
-    in favor of the options object.
+    in favor of the options object.  ``reuse_configurations`` is the
+    incremental-recompilation seam of :class:`CompiledNES`.
     """
     if options is None:
         options = _default_options()
@@ -451,5 +489,6 @@ def compile_nes(
                 f"({len(violations)} violation(s) total)"
             )
     return CompiledNES(
-        nes, topology, builder=builder, options=options, health=health
+        nes, topology, builder=builder, options=options, health=health,
+        reuse_configurations=reuse_configurations,
     )

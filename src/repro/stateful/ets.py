@@ -128,7 +128,7 @@ def build_ets(
     state_space: Optional[Iterable[StateVector]] = None,
     max_states: int = 10_000,
     symbolic_extract: bool = True,
-    symbolic: Optional[SymbolicProgram] = None,
+    symbolic: Optional[object] = None,
 ) -> ETS:
     """Construct ``ETS(program)`` from the initial state.
 
@@ -142,9 +142,18 @@ def build_ets(
     instantiates each state's edges and configuration from the guarded
     result -- near-linear in the chain depth for the cap apps, and
     byte-identical to the retained per-state ``extract``/``project``
-    reference walks (``symbolic_extract=False``).  Pass a prebuilt
-    ``symbolic`` engine to reuse (and time) the partial evaluation
-    separately, as :class:`repro.pipeline.Pipeline` does.
+    reference walks (``symbolic_extract=False``).
+
+    ``symbolic`` is the *instantiation seam*: any object providing
+    ``edges_at(state)`` and ``configuration_at(state)``.  Pass a
+    prebuilt :class:`~repro.stateful.symbolic.SymbolicProgram` to reuse
+    (and time) the partial evaluation separately, as
+    :class:`repro.pipeline.Pipeline` does — or a patched source that
+    serves unaffected states from a previous ETS, as
+    :meth:`repro.pipeline.Pipeline.update` does.  Whatever the source,
+    per-state results must equal the reference walks'; the BFS applies
+    the same identity-edge filter either way (already-filtered reused
+    edges pass through it unchanged).
     """
     allowed: Optional[Set[StateVector]] = (
         set(state_space) if state_space is not None else None

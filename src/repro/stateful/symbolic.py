@@ -78,6 +78,8 @@ __all__ = [
     "SymbolicProgram",
     "symbolic_extract",
     "symbolic_project",
+    "changed_edge_guards",
+    "changed_cell_guards",
 ]
 
 
@@ -636,6 +638,58 @@ def _sp_combine(
             if refined is not None:
                 out.append((refined, combine(lp, rp)))
     return tuple(out)
+
+
+# ---------------------------------------------------------------------------
+# Delta blast radius: which guards changed between two partial evaluations
+# ---------------------------------------------------------------------------
+
+
+def changed_edge_guards(
+    old: SymbolicExtract, new: SymbolicExtract
+) -> FrozenSet[StateGuard]:
+    """Guards of the guarded edges present in exactly one extraction.
+
+    A concrete state satisfying none of them has identical edge sets
+    under both extractions: the edges whose guards hold at it are the
+    *same* members of ``old.edges & new.edges`` either way.  This is the
+    edge half of a delta's blast radius
+    (:meth:`repro.pipeline.Pipeline.update`): states outside it can keep
+    their previously instantiated :class:`~repro.stateful.events.EventEdge`\\ s.
+    """
+    return frozenset(ge.guard for ge in old.edges ^ new.edges)
+
+
+def changed_cell_guards(
+    old: GuardedCells, new: GuardedCells
+) -> FrozenSet[StateGuard]:
+    """Guards whose projection cell differs between two partitions.
+
+    A guard counts as changed when it carries a different policy in the
+    two partitions or exists in only one of them.  Cells are pairwise
+    disjoint, so a state satisfying no changed guard matches the same
+    guard in both partitions — first-occurrence wins for the (never
+    produced, but tolerated) duplicate-guard case, mirroring the scan in
+    :meth:`SymbolicProgram.configuration_at` — and that guard's policy
+    is equal on both sides.  When the partitions differ in *shape*
+    (a delta split or merged cells), the new guards are reported as
+    changed wholesale: conservative, never unsound.
+    """
+    old_cells: Dict[StateGuard, Policy] = {}
+    for g, policy in old:
+        old_cells.setdefault(g, policy)
+    new_cells: Dict[StateGuard, Policy] = {}
+    for g, policy in new:
+        new_cells.setdefault(g, policy)
+    changed = set()
+    for g, policy in new_cells.items():
+        previous = old_cells.get(g)
+        if previous is None or not (previous is policy or previous == policy):
+            changed.add(g)
+    for g in old_cells:
+        if g not in new_cells:
+            changed.add(g)
+    return frozenset(changed)
 
 
 # ---------------------------------------------------------------------------

@@ -213,3 +213,50 @@ class TestArgumentHandling:
         src.write_text("state(0)=0 & state(1)=0; (1:1)->(4:1)<state(1)<-1>")
         assert main(["show-ets", str(src), "--initial", "0,0"]) == 0
         assert "[0, 1]" in capsys.readouterr().out
+
+
+class TestUpdate:
+    def test_noop_update_prints_tables_and_full_reuse(self, firewall_file, capsys):
+        assert main(["update", firewall_file, "--topology", "firewall"]) == 0
+        out = capsys.readouterr().out
+        assert "switch 1" in out and "switch 4" in out
+        assert "reuse: 100% of configurations" in out
+
+    def test_set_state_delta(self, firewall_file, capsys):
+        assert main([
+            "update", firewall_file, "--topology", "firewall",
+            "--set-state", "0=1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "reuse:" in out
+
+    def test_new_program_replacement(self, firewall_file, tmp_path, capsys):
+        changed = tmp_path / "changed.snk"
+        changed.write_text(FIREWALL_SOURCE.replace("ip_dst=1", "ip_dst=2"))
+        assert main([
+            "update", firewall_file, "--topology", "firewall",
+            "--new-program", str(changed),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "ip_dst=2" in out
+        assert "recompiled" in out
+
+    def test_report_flag_shows_update_stats(self, firewall_file, capsys):
+        assert main([
+            "update", firewall_file, "--topology", "firewall", "--report",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "update.delta" in out
+        assert "update.reuse_percent" in out
+
+    def test_malformed_set_state_is_rejected(self, firewall_file):
+        with pytest.raises(SystemExit):
+            main(["update", firewall_file, "--topology", "firewall",
+                  "--set-state", "zero=one"])
+
+    def test_out_of_range_component_fails_cleanly(self, firewall_file, capsys):
+        assert main([
+            "update", firewall_file, "--topology", "firewall",
+            "--set-state", "7=1",
+        ]) == 1
+        assert "FAIL:" in capsys.readouterr().out

@@ -252,3 +252,103 @@ def test_star_with_modification_cycle():
     policy = star(toggle)
     packets = [Packet({"ident": v, "sw": 0, "pt": 0}) for v in VALUES]
     assert_differential(policy, packets)
+
+
+# ---------------------------------------------------------------------------
+# Random delta chains: Pipeline.update vs cold rebuild at every step
+# ---------------------------------------------------------------------------
+#
+# Starting from each seed application, a seeded generator produces a
+# chain of random deltas (initial-state component writes and sub-policy
+# replacements drawn from the program's own subterms).  At every step
+# the incremental path (``Pipeline.update``) is compared against a cold
+# pipeline built from the post-delta program: both must yield
+# byte-identical guarded tables, or raise the same exception type (in
+# which case the chain ends -- the post-delta program is simply not
+# compilable, and both paths must agree on that too).
+
+from repro.netkat import ast as _nk
+from repro.pipeline import Delta, Pipeline
+
+from seed_apps import APPS, guarded_bytes
+
+
+def _subpolicies(p: Policy):
+    out = [p]
+    if isinstance(p, (_nk.Seq, _nk.Union)):
+        out += _subpolicies(p.left) + _subpolicies(p.right)
+    elif isinstance(p, _nk.Star):
+        out += _subpolicies(p.operand)
+    return out
+
+
+def _state_values(p: Policy, initial):
+    values = {0, 1}
+    values.update(initial)
+    for sub in _subpolicies(p):
+        if isinstance(sub, _nk.Filter):
+            stack = [sub.predicate]
+            while stack:
+                a = stack.pop()
+                if isinstance(a, StateTest):
+                    values.add(a.value)
+                elif isinstance(a, (_nk.Conj, _nk.Disj)):
+                    stack.extend((a.left, a.right))
+                elif isinstance(a, _nk.Neg):
+                    stack.append(a.operand)
+    return sorted(values)
+
+
+def _random_delta(rng: random.Random, program: Policy, initial) -> Delta:
+    if rng.random() < 0.5:
+        component = rng.randrange(len(initial))
+        value = rng.choice(_state_values(program, initial))
+        return Delta(set_state=((component, value),))
+    filters = [s for s in _subpolicies(program) if isinstance(s, _nk.Filter)]
+    old = rng.choice(filters)
+    roll = rng.random()
+    if roll < 0.4:
+        new = _nk.Filter(TRUE)
+    elif roll < 0.8:
+        new = filter_(neg(old.predicate))
+    else:
+        new = _nk.Filter(StateTest(rng.randrange(len(initial)), rng.choice((0, 1))))
+    return Delta(replace_policy=old, with_policy=new)
+
+
+def _outcome(thunk):
+    try:
+        return ("ok", guarded_bytes(thunk()))
+    except Exception as exc:  # noqa: BLE001 - the *type* is the oracle
+        return ("error", type(exc))
+
+
+@pytest.mark.parametrize(
+    "app_index,seed", [(i, s) for i in range(len(APPS)) for s in range(2)],
+    ids=[f"{APPS[i][0]}-{s}" for i in range(len(APPS)) for s in range(2)],
+)
+def test_random_delta_chains_match_cold_rebuild(app_index, seed):
+    rng = random.Random(3000 + 17 * app_index + seed)
+    _, make = APPS[app_index]
+    app = make()
+    program, topology, initial = app.program, app.topology, app.initial_state
+    base = Pipeline(program, topology, initial)
+    base.compiled
+    for _ in range(3):
+        delta = _random_delta(rng, program, initial)
+        cold = _outcome(
+            lambda: Pipeline(
+                delta.apply_program(program),
+                topology,
+                delta.apply_initial_state(initial),
+            ).compiled
+        )
+        incremental = _outcome(lambda: base.update(delta).compiled)
+        assert incremental == cold, (
+            f"update diverged from cold rebuild on delta {delta!r}"
+        )
+        if cold[0] == "error":
+            break
+        program = delta.apply_program(program)
+        initial = delta.apply_initial_state(initial)
+        base = base.update(delta)

@@ -33,6 +33,7 @@ from repro.pipeline import (
     Pipeline,
     PipelineError,
     StageError,
+    _QUARANTINE_SLOTS,
     _SIGNED_MAGIC,
 )
 
@@ -624,3 +625,90 @@ def test_randomized_plans_quick(seed, tmp_path, reference_tables):
 @pytest.mark.parametrize("seed", range(8, 60))
 def test_randomized_plans_deep(seed, tmp_path, reference_tables):
     run_chaos(seed, tmp_path, reference_tables)
+
+
+# ---------------------------------------------------------------------------
+# Torn signed headers and quarantine slot preservation
+# ---------------------------------------------------------------------------
+
+
+class TestTornHeaderAndQuarantineSlots:
+    """Regressions: an entry truncated *inside* the magic+HMAC header
+    must be an integrity rejection (not unpickled garbage miscounted as
+    ``cache.load_corrupt``), and repeated quarantines of one key must
+    preserve the earlier forensic copies in numbered slots."""
+
+    def torn_blob(self):
+        # Recognizably signed, but cut off 10 bytes into the digest.
+        return _SIGNED_MAGIC + b"\x5a" * 10
+
+    @pytest.mark.parametrize("hmac_key", [None, b"some-key"],
+                             ids=["keyless", "keyed"])
+    def test_torn_header_is_an_integrity_rejection(self, tmp_path, hmac_key):
+        cache = ArtifactCache(tmp_path, hmac_key=hmac_key)
+        cache.path("k").write_bytes(self.torn_blob())
+        with pytest.warns(ArtifactCacheWarning, match="torn signed header"):
+            assert cache.load("k") is None
+        assert cache.health["cache.integrity_rejected"] == 1
+        assert cache.health.get("cache.load_corrupt", 0) == 0
+        assert cache.health["cache.quarantined"] == 1
+        assert cache.bad_path("k").exists()
+        assert not cache.path("k").exists()
+
+    def test_torn_header_is_strict_mode_fatal(self, tmp_path):
+        cache = ArtifactCache(tmp_path, strict=True)
+        cache.path("k").write_bytes(self.torn_blob())
+        with pytest.raises(ArtifactIntegrityError, match="torn signed header"):
+            cache.load("k")
+
+    def test_torn_header_pipeline_recompiles_byte_identically(
+        self, tmp_path, reference_tables
+    ):
+        app = firewall_app()
+        options = CompileOptions(cache_dir=tmp_path)  # keyless reader
+        cold = fresh_pipeline(app, options)
+        cold.compiled
+        path = ArtifactCache(tmp_path).path(cold.artifact_key())
+        # Simulate a keyed writer's store torn off mid-header.
+        path.write_bytes(self.torn_blob())
+
+        pipeline = fresh_pipeline(app, options)
+        with pytest.warns(ArtifactCacheWarning, match="rejected"):
+            assert guarded_bytes(pipeline.compiled) == reference_tables
+        report = pipeline.report()
+        assert report.artifact_cache == "miss"
+        assert report.health["cache.integrity_rejected"] == 1
+        assert "cache.load_corrupt" not in report.health
+
+    def test_repeated_quarantines_preserve_earlier_copies(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", ArtifactCacheWarning)
+            for round_number in range(3):
+                cache.path("k").write_bytes(b"garbage %d" % round_number)
+                assert cache.load("k") is None
+        for slot in range(3):
+            assert cache.bad_path("k", slot).read_bytes() == (
+                b"garbage %d" % slot
+            )
+        assert cache.health["cache.quarantined"] == 3
+
+    def test_quarantine_slots_are_bounded_and_recycle_the_last(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        rounds = _QUARANTINE_SLOTS + 2
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", ArtifactCacheWarning)
+            for round_number in range(rounds):
+                cache.path("k").write_bytes(b"garbage %d" % round_number)
+                assert cache.load("k") is None
+        # The first slots keep the earliest copies; overflow recycles
+        # only the final slot, which holds the most recent rejection.
+        for slot in range(_QUARANTINE_SLOTS - 1):
+            assert cache.bad_path("k", slot).read_bytes() == (
+                b"garbage %d" % slot
+            )
+        assert cache.bad_path("k", _QUARANTINE_SLOTS - 1).read_bytes() == (
+            b"garbage %d" % (rounds - 1)
+        )
+        assert not cache.bad_path("k", _QUARANTINE_SLOTS).exists()
+        assert cache.health["cache.quarantined"] == rounds

@@ -14,7 +14,7 @@ from pathlib import Path
 
 import pytest
 
-from repro import CompileOptions, Pipeline, compile_app
+from repro import CompileOptions, Delta, Pipeline, compile_app
 from repro.apps import bandwidth_cap_app, firewall_app, ids_app
 from repro.events.ets_to_nes import nes_of_ets
 from repro.netkat.fdd import FDDBuilder
@@ -552,3 +552,206 @@ def test_explicit_builder_forces_serial_path():
     assert compiled._builder is builder
     assert builder._memo_of_policy
     assert guarded_bytes(compiled) == guarded_bytes(app.compiled)
+
+
+# ---------------------------------------------------------------------------
+# Incremental recompilation: Pipeline.update and Delta
+# ---------------------------------------------------------------------------
+
+
+def cold_after(app, delta):
+    """The from-scratch pipeline for the post-delta program."""
+    return Pipeline(
+        delta.apply_program(app.program),
+        delta.apply_topology(app.topology),
+        delta.apply_initial_state(app.initial_state),
+        app.options,
+    )
+
+
+class TestPipelineUpdate:
+    @pytest.mark.parametrize("name,make", APPS, ids=[name for name, _ in APPS])
+    def test_noop_delta_is_byte_identical_with_full_reuse(self, name, make):
+        app = make()
+        base = Pipeline(app.program, app.topology, app.initial_state)
+        updated = base.update(Delta())
+        assert guarded_bytes(updated.compiled) == guarded_bytes(base.compiled)
+        stats = dict(updated.report().stats)
+        assert stats["update.reuse_percent"] == 100
+        assert stats["update.configurations_recompiled"] == 0
+        assert stats["update.states_reinstantiated"] == 0
+
+    @pytest.mark.parametrize("name,make", APPS, ids=[name for name, _ in APPS])
+    def test_state_delta_matches_cold_rebuild(self, name, make):
+        app = make()
+        base = Pipeline(app.program, app.topology, app.initial_state)
+        delta = Delta(set_state=((0, 1),))
+        assert guarded_bytes(base.update(delta).compiled) == guarded_bytes(
+            cold_after(app, delta).compiled
+        )
+
+    def test_policy_delta_matches_cold_rebuild(self):
+        from repro.netkat.ast import Filter, conj, test
+
+        app = firewall_app()
+        base = Pipeline(app.program, app.topology, app.initial_state)
+        # Widen the outgoing filter: also admit ip_dst=2 traffic.
+        old = Filter(conj(test("pt", 2), test("ip_dst", 4)))
+        new = Filter(conj(test("pt", 2), test("ip_dst", 2)))
+        delta = Delta(replace_policy=old, with_policy=new)
+        assert guarded_bytes(base.update(delta).compiled) == guarded_bytes(
+            cold_after(app, delta).compiled
+        )
+
+    def test_state_test_delta_matches_cold_rebuild(self):
+        from repro.netkat.ast import Filter
+        from repro.stateful.ast import state_test
+
+        app = firewall_app()
+        base = Pipeline(app.program, app.topology, app.initial_state)
+        delta = Delta(
+            replace_policy=Filter(state_test(0, 1)),
+            with_policy=Filter(state_test(0, 0)),
+        )
+        assert guarded_bytes(base.update(delta).compiled) == guarded_bytes(
+            cold_after(app, delta).compiled
+        )
+
+    def test_reference_extraction_path_matches_cold_rebuild(self):
+        app = firewall_app()
+        options = CompileOptions(symbolic_extract=False)
+        base = Pipeline(app.program, app.topology, app.initial_state, options)
+        delta = Delta(set_state=((0, 1),))
+        cold = Pipeline(
+            app.program,
+            app.topology,
+            delta.apply_initial_state(app.initial_state),
+            options,
+        )
+        assert guarded_bytes(base.update(delta).compiled) == guarded_bytes(
+            cold.compiled
+        )
+
+    def test_unaffected_configurations_are_reused_not_recompiled(self):
+        app = bandwidth_cap_app()
+        base = Pipeline(app.program, app.topology, app.initial_state)
+        updated = base.update(Delta(set_state=((0, 1),)))
+        stats = dict(updated.report().stats)
+        # Advancing the counter drops state 0 from the reachable set but
+        # leaves every surviving state's guard untouched.
+        assert stats["update.configurations_reused"] > 0
+        assert stats["update.configurations_recompiled"] == 0
+        reused = updated.compiled.configurations
+        for state, configuration in base.compiled.configurations.items():
+            if state in reused:
+                assert reused[state] is configuration
+
+    def test_artifact_key_reflects_the_post_delta_program(self):
+        app = firewall_app()
+        base = Pipeline(app.program, app.topology, app.initial_state)
+        delta = Delta(set_state=((0, 1),))
+        updated = base.update(delta)
+        assert updated.artifact_key() == cold_after(app, delta).artifact_key()
+        assert updated.artifact_key() != base.artifact_key()
+
+    def test_zero_hit_replacement_raises(self):
+        from repro.netkat.ast import Filter, test
+
+        app = firewall_app()
+        base = Pipeline(app.program, app.topology, app.initial_state)
+        with pytest.raises(ValueError, match="does not occur"):
+            base.update(
+                Delta(
+                    replace_policy=Filter(test("ip_dst", 99)),
+                    with_policy=Filter(test("ip_dst", 98)),
+                )
+            )
+
+    def test_out_of_range_state_component_raises(self):
+        app = firewall_app()
+        base = Pipeline(app.program, app.topology, app.initial_state)
+        with pytest.raises(ValueError):
+            base.update(Delta(set_state=((5, 1),)))
+
+    def test_update_on_a_warm_cache_is_a_hit(self, tmp_path):
+        app = firewall_app()
+        options = CompileOptions(cache_dir=tmp_path)
+        delta = Delta(set_state=((0, 1),))
+        base = Pipeline(app.program, app.topology, app.initial_state, options)
+        base.compiled
+        # Prime the cache with the post-delta artifact, then update: the
+        # updated pipeline must serve it instead of recompiling.
+        reference = guarded_bytes(cold_after(app, delta).compiled)
+        base.update(delta)  # stores the post-delta artifact
+        again = Pipeline(app.program, app.topology, app.initial_state, options)
+        updated = again.update(delta)
+        assert updated.report().artifact_cache == "hit"
+        assert guarded_bytes(updated.compiled) == reference
+        stats = dict(updated.report().stats)
+        assert stats["update.reuse_percent"] == 100
+
+
+# ---------------------------------------------------------------------------
+# Report-shape pins: warm-cache and update reports
+# ---------------------------------------------------------------------------
+
+
+class TestReportShapes:
+    def test_warm_cache_report_omits_ets_and_nes(self, tmp_path):
+        app = firewall_app()
+        options = CompileOptions(cache_dir=tmp_path)
+        Pipeline(app.program, app.topology, app.initial_state, options).compiled
+        warm = Pipeline(app.program, app.topology, app.initial_state, options)
+        warm.compiled
+        report = warm.report()
+        assert [name for name, _ in report.stage_seconds] == ["compile"]
+        assert report.substages == ()
+        assert report.artifact_cache == "hit"
+        stat_names = [name for name, _ in report.stats]
+        assert "ets_states" not in stat_names
+        assert "nes_events" not in stat_names
+
+    def test_update_report_shape(self):
+        app = firewall_app()
+        base = Pipeline(app.program, app.topology, app.initial_state)
+        report = base.update(Delta(set_state=((0, 1),))).report()
+        stages = [name for name, _ in report.stage_seconds]
+        assert stages == ["ets", "nes", "compile"]
+        subs = [name for name, _ in report.substages]
+        assert subs == ["ets.symbolic", "ets.instantiate", "update.delta"]
+        stat_names = [name for name, _ in report.stats]
+        assert stat_names[-5:] == [
+            "update.states_reinstantiated",
+            "update.states_reused",
+            "update.configurations_recompiled",
+            "update.configurations_reused",
+            "update.reuse_percent",
+        ]
+        # The trailing substage block keeps update.delta visible.
+        assert "update.delta" in str(report)
+
+
+# ---------------------------------------------------------------------------
+# App.pipeline memoization is keyed on the pipeline's inputs
+# ---------------------------------------------------------------------------
+
+
+class TestAppPipelineMemo:
+    def test_replaced_options_invalidate_the_memo(self):
+        app = firewall_app()
+        first = app.pipeline
+        assert app.pipeline is first  # unchanged inputs share the pipeline
+        fresh = CompileOptions(symbolic_extract=False)
+        object.__setattr__(app, "options", fresh)
+        second = app.pipeline
+        assert second is not first
+        assert second.options is fresh
+        assert app.pipeline is second
+
+    def test_replaced_initial_state_invalidates_the_memo(self):
+        app = firewall_app()
+        first = app.pipeline
+        object.__setattr__(app, "initial_state", (1,))
+        second = app.pipeline
+        assert second is not first
+        assert second.initial_state == (1,)
