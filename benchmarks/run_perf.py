@@ -14,6 +14,10 @@ writes ``BENCH_compiler_perf.json`` at the repository root.  The
 :meth:`repro.pipeline.Pipeline.update` (one initial-state component
 delta) against a warm base pipeline; compare it with the cold
 ``cap24_full_compile`` median to read off the incremental speedup.
+``cap24_service_warm_request`` times one warm ``POST /compile``
+round-trip against an in-process compilation daemon
+(:mod:`repro.service`) — the HTTP + wire overhead a controller pays
+over the raw memo hit.
 ``--backend`` selects the pipeline executor for the full-app compile
 benches (the outputs are byte-identical; only the timing changes).  The file is
 checked in so the perf trajectory is visible PR over PR; re-run this
@@ -103,6 +107,35 @@ def _bench_cap24_update_latency(options: CompileOptions) -> None:
     base.update(Delta(set_state=((0, 1),))).compiled
 
 
+# A lazy module-level daemon for the warm-request bench, started (and
+# warmed with one cold cap-24 compile) on the harness's warm-up round so
+# the timed rounds pay the full HTTP round-trip of a warm request —
+# client-side program serialization, the wire, server-side parse +
+# artifact-key computation, the pipeline-memo hit, and the table
+# serialization back — but never a compile.  The server thread is a
+# daemon; process exit reaps it.
+_SERVICE: Dict[str, object] = {}
+
+
+def _bench_cap24_service_warm_request(options: CompileOptions) -> None:
+    client = _SERVICE.get("client")
+    if client is None:
+        import threading
+
+        from repro.service import ServiceClient, create_server
+
+        server = create_server()
+        threading.Thread(
+            target=server.serve_forever, name="bench-service", daemon=True
+        ).start()
+        client = ServiceClient(server.base_url)
+        _SERVICE["server"] = server
+        _SERVICE["client"] = client
+        _SERVICE["app"] = bandwidth_cap_app(24)
+    app = _SERVICE["app"]
+    client.compile(app.program, app.topology, app.initial_state)
+
+
 # ETS-stage-only cases at depths the per-state walks made painful: the
 # symbolic all-states engine keeps construction near-linear in the chain.
 def _bench_cap28_ets_stage(options: CompileOptions) -> None:
@@ -152,6 +185,7 @@ BENCHES: Tuple[Tuple[str, Callable[[CompileOptions], None]], ...] = (
     ("cap20_full_compile", _bench_cap20_full_compile),
     ("cap24_full_compile", _bench_cap24_full_compile),
     ("cap24_update_latency", _bench_cap24_update_latency),
+    ("cap24_service_warm_request", _bench_cap24_service_warm_request),
     ("cap28_ets_stage", _bench_cap28_ets_stage),
     ("cap32_ets_stage", _bench_cap32_ets_stage),
     ("wide_locality_8x2", _bench_wide_locality),

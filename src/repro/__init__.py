@@ -45,7 +45,11 @@ repeated construction skips the toolchain entirely::
     tables = pipeline.compiled.guarded_tables()
 """
 
-from . import apps, baselines, consistency, events, faults, netkat, network, optimize, pipeline, runtime, stateful, verify
+# Defined before the submodule imports: repro.service reads it at import
+# time (its HTTP Server header and /version body carry it).
+__version__ = "0.1.0"
+
+from . import apps, baselines, consistency, events, faults, netkat, network, optimize, pipeline, runtime, service, stateful, verify
 from .formula import EQ, Formula, Literal, NE
 from .pipeline import (
     ArtifactIntegrityError,
@@ -57,8 +61,6 @@ from .pipeline import (
     compile_app,
 )
 from .topology import Host, Topology
-
-__version__ = "0.1.0"
 
 __all__ = [
     "netkat",
@@ -73,6 +75,7 @@ __all__ = [
     "verify",
     "pipeline",
     "faults",
+    "service",
     "Pipeline",
     "CompileOptions",
     "Delta",

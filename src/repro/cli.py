@@ -7,12 +7,22 @@ Usage (also via ``python -m repro``)::
     python -m repro compile   program.snk --topology firewall \
                               [--backend serial|thread] [--cache-dir DIR] \
                               [--strict-cache] [--no-symbolic-extract] \
-                              [--no-knowledge-cache] [--report]
+                              [--no-knowledge-cache] [--report] [--json]
 
 ``--report`` prints the per-stage timing report including the pipeline
 ``health`` counters (executor retries/fallbacks, cache integrity
 rejections, swallowed cache errors); ``health ok`` means nothing was
-absorbed.
+absorbed.  ``--report --json`` emits the report as one JSON object
+(the same shape the compilation service serves) instead of the
+human-readable output.
+    python -m repro serve     [--host HOST] [--port PORT] \
+                              [--cache-dir DIR] [--strict-cache] \
+                              [--memo-size N] [--backend serial|thread]
+
+``serve`` starts the compilation-as-a-service daemon
+(:mod:`repro.service`): a controller fleet POSTs programs to
+``/compile`` / ``/compile/batch`` / ``/update`` and reads ``/health`` /
+``/stats`` / ``/version`` instead of linking the compiler.
     python -m repro update    program.snk --topology firewall \
                               [--set-state COMPONENT=VALUE]... \
                               [--new-program FILE] [--report]
@@ -34,6 +44,7 @@ ints.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional, Sequence
 
@@ -44,6 +55,7 @@ from .netkat.parser import ParseError, parse_policy
 from .optimize.sharing import optimize_compiled_nes
 from .pipeline import BACKENDS, CompileOptions, Delta, Pipeline, PipelineError
 from .runtime.compiler import LocalityError
+from .service.launcher import add_serve_arguments
 from .stateful.ast import StateVector
 from .stateful.ets import build_ets
 from .topology import (
@@ -136,6 +148,8 @@ def _cmd_check(args: argparse.Namespace) -> int:
 def _cmd_compile(args: argparse.Namespace) -> int:
     program = _load_program(args.program)
     topology = _topology_of(args.topology)
+    if args.json and not args.report:
+        raise SystemExit("--json requires --report")
     options = CompileOptions(
         backend=args.backend,
         cache_dir=args.cache_dir,
@@ -150,6 +164,11 @@ def _cmd_compile(args: argparse.Namespace) -> int:
     except (ETSConversionError, LocalityError, TagFieldError, PipelineError) as exc:
         print(f"FAIL: {exc}")
         return 1
+    if args.json:
+        # Machine-readable mode: exactly one JSON object on stdout (the
+        # PipelineReport.to_dict shape the service also serves).
+        print(json.dumps(pipeline.report().to_dict(), indent=2))
+        return 0
     print(f"{compiled}\n")
     for switch, table in sorted(tables.items()):
         print(f"switch {switch} ({len(table)} rules):")
@@ -235,6 +254,13 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the compilation daemon (blocks until interrupted)."""
+    from .service.launcher import run
+
+    return run(args)
+
+
 def _cmd_apps(args: argparse.Namespace) -> int:
     from . import apps as apps_module
 
@@ -318,6 +344,12 @@ def build_arg_parser() -> argparse.ArgumentParser:
         help="print per-stage pipeline timings and stats (including the "
         "ets symbolic-vs-instantiate split)",
     )
+    compile_cmd.add_argument(
+        "--json",
+        action="store_true",
+        help="with --report: emit the report as one JSON object "
+        "(PipelineReport.to_dict) instead of the human-readable output",
+    )
     add_program_command("update", _cmd_update,
                         "recompile incrementally after a delta", True)
     update_cmd = sub.choices["update"]
@@ -344,6 +376,12 @@ def build_arg_parser() -> argparse.ArgumentParser:
 
     apps_cmd = sub.add_parser("apps", help="list the built-in case studies")
     apps_cmd.set_defaults(handler=_cmd_apps)
+
+    serve_cmd = sub.add_parser(
+        "serve", help="run the compilation-as-a-service daemon"
+    )
+    add_serve_arguments(serve_cmd)
+    serve_cmd.set_defaults(handler=_cmd_serve)
     return parser
 
 

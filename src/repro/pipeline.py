@@ -692,6 +692,25 @@ class PipelineReport:
     def total_seconds(self) -> float:
         return sum(seconds for _, seconds in self.stage_seconds)
 
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-serializable snapshot of this report.
+
+        This is the wire shape shared by the compilation service
+        (``GET /stats`` / ``GET /health`` and every ``/compile``
+        response) and ``python -m repro compile --report --json``; the
+        key set is pinned by ``tests/test_pipeline.py`` so the format
+        cannot drift silently.
+        """
+        return {
+            "backend": self.backend,
+            "artifact_cache": self.artifact_cache,
+            "stages": dict(self.stage_seconds),
+            "substages": dict(self.substages),
+            "stats": dict(self.stats),
+            "health": dict(self.health),
+            "total_seconds": self.total_seconds(),
+        }
+
     def __str__(self) -> str:
         lines = [f"pipeline backend={self.backend}"
                  + (f" artifact_cache={self.artifact_cache}"
@@ -731,6 +750,12 @@ class Pipeline:
     With ``options.cache_dir`` set, :attr:`compiled` first consults the
     content-addressed artifact cache and, on a hit, skips the ETS and
     NES stages entirely (the NES is recovered from the artifact itself).
+
+    The lazy memoization is thread-safe: a pipeline shared between
+    threads (as the compilation service does across request handlers)
+    runs each stage exactly once — concurrent readers of an unbuilt
+    stage serialize on an internal lock and then observe the same
+    artifact with fully-recorded stage timings.
     """
 
     def __init__(
@@ -756,6 +781,13 @@ class Pipeline:
         self._cache: Optional[ArtifactCache] = None
         self._cache_resolved = False
         self._health: Dict[str, int] = {}
+        # Guards the lazy stage memoization: a Pipeline shared between
+        # threads (the compilation service memoizes pipelines across
+        # request handlers) must run each stage exactly once, and a
+        # lock-free reader that sees a published artifact must also see
+        # its recorded stage timings — so stages run under this lock and
+        # the memo field is always assigned *last*.
+        self._memo_lock = threading.RLock()
 
     def _count(self, counter: str) -> None:
         self._health[counter] = self._health.get(counter, 0) + 1
@@ -774,63 +806,83 @@ class Pipeline:
     @property
     def ets(self) -> ETS:
         if self._ets is None:
-            self._stage_boundary("ets")
-            start = time.perf_counter()
-            if self.options.symbolic_extract:
-                # The symbolic path splits into the one-shot partial
-                # evaluation and the per-state BFS instantiation; the
-                # report carries both (the "ets.*" substages) alongside
-                # the stage total.  The engine is retained: update()
-                # diffs it against the post-delta program's to localize
-                # a delta's blast radius.
-                symbolic = SymbolicProgram(self.program)
-                self._symbolic = symbolic
-                mid = time.perf_counter()
-                self._ets = build_ets(
-                    self.program, self.initial_state, symbolic=symbolic
-                )
-                end = time.perf_counter()
-                self._substage_seconds["ets.symbolic"] = mid - start
-                self._substage_seconds["ets.instantiate"] = end - mid
-            else:
-                self._ets = build_ets(
-                    self.program, self.initial_state, symbolic_extract=False
-                )
-                end = time.perf_counter()
-            self._stage_seconds["ets"] = end - start
+            with self._memo_lock:
+                if self._ets is None:
+                    self._stage_boundary("ets")
+                    start = time.perf_counter()
+                    if self.options.symbolic_extract:
+                        # The symbolic path splits into the one-shot
+                        # partial evaluation and the per-state BFS
+                        # instantiation; the report carries both (the
+                        # "ets.*" substages) alongside the stage total.
+                        # The engine is retained: update() diffs it
+                        # against the post-delta program's to localize
+                        # a delta's blast radius.
+                        symbolic = SymbolicProgram(self.program)
+                        mid = time.perf_counter()
+                        ets = build_ets(
+                            self.program, self.initial_state, symbolic=symbolic
+                        )
+                        end = time.perf_counter()
+                        self._substage_seconds["ets.symbolic"] = mid - start
+                        self._substage_seconds["ets.instantiate"] = end - mid
+                        self._symbolic = symbolic
+                    else:
+                        ets = build_ets(
+                            self.program,
+                            self.initial_state,
+                            symbolic_extract=False,
+                        )
+                        end = time.perf_counter()
+                    self._stage_seconds["ets"] = end - start
+                    self._ets = ets
         return self._ets
 
     @property
     def nes(self) -> NES:
         if self._nes is None:
-            if self._compiled is None:
-                # A warm artifact carries its NES, so consult the cache
-                # before paying for the ETS and NES stages.  (The ETS is
-                # not part of the artifact; pipeline.ets always builds.)
-                self._load_artifact()
-            if self._compiled is not None:
-                self._nes = self._compiled.nes
-            else:
-                ets = self.ets
-                self._stage_boundary("nes")
-                start = time.perf_counter()
-                self._nes = nes_of_ets(ets)
-                self._stage_seconds["nes"] = time.perf_counter() - start
+            with self._memo_lock:
+                if self._nes is None:
+                    if self._compiled is None:
+                        # A warm artifact carries its NES, so consult
+                        # the cache before paying for the ETS and NES
+                        # stages.  (The ETS is not part of the artifact;
+                        # pipeline.ets always builds.)
+                        self._load_artifact()
+                    if self._compiled is not None:
+                        self._nes = self._compiled.nes
+                    else:
+                        ets = self.ets
+                        self._stage_boundary("nes")
+                        start = time.perf_counter()
+                        nes = nes_of_ets(ets)
+                        self._stage_seconds["nes"] = (
+                            time.perf_counter() - start
+                        )
+                        self._nes = nes
         return self._nes
 
     @property
     def compiled(self) -> CompiledNES:
         if self._compiled is None:
-            self._load_artifact()
-        if self._compiled is None:
-            nes = self.nes
-            self._stage_boundary("compile")
-            start = time.perf_counter()
-            self._compiled = compile_nes(
-                nes, self.topology, options=self.options, health=self._health
-            )
-            self._stage_seconds["compile"] = time.perf_counter() - start
-            self._store_artifact()
+            with self._memo_lock:
+                if self._compiled is None:
+                    self._load_artifact()
+                if self._compiled is None:
+                    nes = self.nes
+                    self._stage_boundary("compile")
+                    start = time.perf_counter()
+                    compiled = compile_nes(
+                        nes,
+                        self.topology,
+                        options=self.options,
+                        health=self._health,
+                    )
+                    self._stage_seconds["compile"] = (
+                        time.perf_counter() - start
+                    )
+                    self._compiled = compiled
+                    self._store_artifact()
         return self._compiled
 
     def _store_artifact(self) -> None:
@@ -879,9 +931,9 @@ class Pipeline:
                     for name in _EXECUTION_ONLY_FIELDS
                 }
             )
-            self._compiled = loaded
             self._artifact_cache_state = "hit"
             self._stage_seconds["compile"] = time.perf_counter() - start
+            self._compiled = loaded
         else:
             self._artifact_cache_state = "miss"
 

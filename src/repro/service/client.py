@@ -1,0 +1,171 @@
+"""A thin urllib client for the compilation service.
+
+Used by the end-to-end tests, ``examples/service_demo.py``, the CI
+smoke step, and the warm-request bench — and usable as the fleet-side
+library: a controller constructs one :class:`ServiceClient` per daemon
+and asks it for tables instead of linking the compiler.
+
+Programs may be passed as :class:`~repro.netkat.ast.Policy` objects
+(serialized through the pretty-printer) or as concrete-syntax strings;
+topologies as :class:`~repro.topology.Topology` objects or wire dicts;
+deltas as :class:`~repro.pipeline.Delta` objects or wire dicts.  Error
+responses raise :class:`ServiceError` carrying the HTTP status and the
+server's structured error body (type, code, message, and — for typed
+pipeline failures — stage provenance).
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from ..netkat.ast import Policy
+from ..pipeline import Delta
+from ..topology import Topology
+from . import protocol
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+
+class ServiceError(Exception):
+    """A non-2xx response; ``status`` is the HTTP code and ``error`` the
+    server's structured body (``{"type", "code", "message", ...}``)."""
+
+    def __init__(self, status: int, error: Mapping[str, Any]):
+        code = error.get("code", "error")
+        message = error.get("message", "service error")
+        super().__init__(f"[{status} {code}] {message}")
+        self.status = status
+        self.error = dict(error)
+
+    @property
+    def code(self) -> str:
+        return self.error.get("code", "error")
+
+    @property
+    def stage(self) -> Optional[str]:
+        return self.error.get("stage")
+
+
+class ServiceClient:
+    """One compilation daemon, addressed by base URL."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- transport ----------------------------------------------------------
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Mapping[str, Any]] = None,
+        allow_error_status: bool = False,
+    ) -> Tuple[int, Dict[str, Any]]:
+        request = urllib.request.Request(
+            f"{self.base_url}{path}",
+            data=json.dumps(body).encode() if body is not None else None,
+            headers={"Content-Type": "application/json"},
+            method=method,
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as resp:
+                return resp.status, json.loads(resp.read())
+        except urllib.error.HTTPError as exc:
+            try:
+                payload = json.loads(exc.read())
+            except (ValueError, OSError):
+                payload = {}
+            if allow_error_status:
+                return exc.code, payload
+            raise ServiceError(
+                exc.code,
+                payload.get("error", {"code": "error", "message": str(exc)}),
+            ) from exc
+
+    def _post(self, path: str, body: Mapping[str, Any]) -> Dict[str, Any]:
+        return self._request("POST", path, body)[1]
+
+    def _get(self, path: str) -> Dict[str, Any]:
+        return self._request("GET", path)[1]
+
+    # -- endpoints ----------------------------------------------------------
+
+    def compile(
+        self,
+        program: Union[Policy, str],
+        topology: Union[Topology, Mapping[str, Any]],
+        initial_state: Sequence[int],
+        options: Optional[Mapping[str, Any]] = None,
+        deadline_seconds: Optional[float] = None,
+        include_tables: bool = True,
+    ) -> Dict[str, Any]:
+        """``POST /compile``: the served artifact key, source, tables,
+        and pipeline report."""
+        return self._post(
+            "/compile",
+            protocol.compile_request_to_wire(
+                program, topology, initial_state,
+                options=options,
+                deadline_seconds=deadline_seconds,
+                include_tables=include_tables,
+            ),
+        )
+
+    def compile_batch(
+        self, requests: Sequence[Mapping[str, Any]]
+    ) -> List[Dict[str, Any]]:
+        """``POST /compile/batch``: per-entry results (an entry that
+        failed carries ``{"error": ..., "status": ...}`` instead)."""
+        return self._post("/compile/batch", {"requests": list(requests)})[
+            "results"
+        ]
+
+    def compile_request(
+        self,
+        program: Union[Policy, str],
+        topology: Union[Topology, Mapping[str, Any]],
+        initial_state: Sequence[int],
+        **kwargs,
+    ) -> Dict[str, Any]:
+        """A batch entry for :meth:`compile_batch`."""
+        return protocol.compile_request_to_wire(
+            program, topology, initial_state, **kwargs
+        )
+
+    def update(
+        self,
+        artifact_key: str,
+        delta: Union[Delta, Mapping[str, Any]],
+        include_tables: bool = True,
+    ) -> Dict[str, Any]:
+        """``POST /update``: incremental recompilation against a
+        previously served artifact key."""
+        wire = (
+            protocol.delta_to_wire(delta)
+            if isinstance(delta, Delta)
+            else dict(delta)
+        )
+        return self._post(
+            "/update",
+            {
+                "artifact_key": artifact_key,
+                "delta": wire,
+                "include_tables": include_tables,
+            },
+        )
+
+    def health(self) -> Tuple[bool, Dict[str, Any]]:
+        """``GET /health`` as ``(ok, body)`` — a 503 (integrity errors
+        under strict cache) returns ``ok=False`` instead of raising."""
+        status, body = self._request("GET", "/health", allow_error_status=True)
+        return status == 200, body
+
+    def stats(self) -> Dict[str, Any]:
+        return self._get("/stats")
+
+    def version(self) -> Dict[str, Any]:
+        return self._get("/version")

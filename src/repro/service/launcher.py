@@ -1,0 +1,120 @@
+"""Launcher for the compilation daemon.
+
+Run it standalone or through the package CLI::
+
+    python -m repro.service.launcher --host 0.0.0.0 --port 8008 \\
+        --cache-dir ~/.cache/repro-service
+    python -m repro serve --port 8008 --cache-dir ~/.cache/repro-service
+
+Environment:
+
+- ``REPRO_SERVICE_HOST`` / ``REPRO_SERVICE_PORT`` — defaults for
+  ``--host`` / ``--port``.
+- ``REPRO_CACHE_HMAC_KEY`` — signs/verifies on-disk cache artifacts
+  (resolved by :meth:`repro.CompileOptions.resolved_cache_hmac_key`);
+  combine with ``--strict-cache`` to make a tampered shared cache a
+  hard, health-visible failure instead of a recompile.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import Optional, Sequence
+
+from ..pipeline import BACKENDS, CompileOptions
+from .server import create_server
+from .state import DEFAULT_MEMO_SIZE
+
+__all__ = ["build_arg_parser", "main", "run"]
+
+DEFAULT_HOST = os.environ.get("REPRO_SERVICE_HOST", "127.0.0.1")
+DEFAULT_PORT = int(os.environ.get("REPRO_SERVICE_PORT", "8008"))
+
+
+def build_arg_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-service",
+        description="Compilation-as-a-service daemon around the repro "
+        "Pipeline façade",
+    )
+    add_serve_arguments(parser)
+    return parser
+
+
+def add_serve_arguments(parser: argparse.ArgumentParser) -> None:
+    """The daemon flags, shared with ``python -m repro serve``."""
+    parser.add_argument(
+        "--host", default=DEFAULT_HOST,
+        help=f"bind address (default: {DEFAULT_HOST}; "
+        "env REPRO_SERVICE_HOST)",
+    )
+    parser.add_argument(
+        "--port", type=int, default=DEFAULT_PORT,
+        help=f"bind port, 0 = ephemeral (default: {DEFAULT_PORT}; "
+        "env REPRO_SERVICE_PORT)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="shared on-disk artifact cache behind the in-process memo "
+        "(default: disabled); set REPRO_CACHE_HMAC_KEY to sign/verify "
+        "entries",
+    )
+    parser.add_argument(
+        "--strict-cache", action="store_true",
+        help="escalate cache integrity rejections to hard errors "
+        "(surfaced by /health as non-200)",
+    )
+    parser.add_argument(
+        "--backend", choices=BACKENDS, default="serial",
+        help="default per-configuration compile executor (requests may "
+        "override per call)",
+    )
+    parser.add_argument(
+        "--memo-size", type=int, default=DEFAULT_MEMO_SIZE, metavar="N",
+        help=f"in-process compiled-pipeline LRU capacity "
+        f"(default: {DEFAULT_MEMO_SIZE})",
+    )
+    parser.add_argument(
+        "--verbose", action="store_true",
+        help="log one line per handled request to stderr",
+    )
+
+
+def run(args: argparse.Namespace) -> int:
+    """Build the server from parsed flags and serve until interrupted."""
+    options = CompileOptions(
+        backend=args.backend,
+        cache_dir=args.cache_dir,
+        strict_cache=args.strict_cache,
+    )
+    server = create_server(
+        host=args.host,
+        port=args.port,
+        options=options,
+        memo_size=args.memo_size,
+        verbose=args.verbose,
+    )
+    host, port = server.server_address[:2]
+    cache = args.cache_dir if args.cache_dir else "disabled"
+    print(
+        f"repro compilation service listening on http://{host}:{port} "
+        f"(cache: {cache}, memo: {args.memo_size} pipelines)",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down", flush=True)
+    finally:
+        server.server_close()
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    return run(build_arg_parser().parse_args(argv))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,363 @@
+"""The compilation daemon's HTTP core (stdlib-only).
+
+A :class:`CompilationServer` is a ``ThreadingHTTPServer`` carrying one
+:class:`~repro.service.state.ServiceState`; each request runs on its own
+thread, so the memoized pipelines lean on
+:class:`~repro.pipeline.Pipeline`'s lock-guarded lazy stages and the
+state's single-flight locks for correctness under concurrency.
+
+Endpoints:
+
+- ``POST /compile`` — compile one ``{program, topology, initial_state,
+  options?, deadline_seconds?, include_tables?}`` request; responds with
+  the artifact key, where the artifact came from (``memo`` /
+  ``coalesced`` / ``disk`` / ``cold``), the canonical per-switch tables,
+  and the pipeline report.
+- ``POST /compile/batch`` — ``{"requests": [...]}``; per-entry results
+  or structured errors (one bad entry never fails the batch).
+- ``POST /update`` — ``{"artifact_key", "delta", include_tables?}``;
+  incremental recompilation against a previously served key.
+- ``GET /health`` — aggregated pipeline health counters; non-200 once a
+  strict-cache integrity error has surfaced.
+- ``GET /stats`` — request counts + latency quantiles per endpoint,
+  memo/disk/cold/single-flight compile counters, memo occupancy.
+- ``GET /version`` — package/protocol/artifact-format versions.
+- ``GET /`` — endpoint index.
+
+Every failure maps to a structured JSON body (`protocol.error_to_wire`)
+with a machine-readable ``type``/``code`` — and stage provenance for
+typed :class:`~repro.pipeline.PipelineError`\\ s; nothing returns a bare
+500.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import threading
+import time
+from contextlib import contextmanager
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Iterator, Mapping, Optional, Tuple
+
+from .. import __version__
+from ..events.ets_to_nes import ETSConversionError
+from ..netkat.flowtable import TagFieldError
+from ..pipeline import (
+    ARTIFACT_FORMAT,
+    ArtifactIntegrityError,
+    CompileOptions,
+    PipelineError,
+)
+from ..runtime.compiler import LocalityError
+from . import protocol
+from .state import DEFAULT_MEMO_SIZE, ServiceState, UnknownArtifactError
+
+__all__ = ["CompilationServer", "create_server", "serve_in_thread"]
+
+_ENDPOINTS = (
+    "POST /compile",
+    "POST /compile/batch",
+    "POST /update",
+    "GET /health",
+    "GET /stats",
+    "GET /version",
+)
+
+# Bodies above this are refused outright (a compile request is a program
+# plus a topology, not a bulk upload).
+_MAX_BODY_BYTES = 8 * 1024 * 1024
+
+
+def _status_of(exc: BaseException) -> int:
+    """The HTTP status for a failure; the body always carries the
+    machine-readable cause regardless."""
+    if isinstance(exc, protocol.ProtocolError):
+        return 400
+    if isinstance(exc, UnknownArtifactError):
+        return 404
+    if isinstance(exc, ArtifactIntegrityError):
+        return 503
+    if isinstance(
+        exc,
+        (PipelineError, ETSConversionError, LocalityError, TagFieldError,
+         ValueError),
+    ):
+        # The inputs were well-formed wire-wise but uncompilable (not
+        # locally determined, zero-hit delta substitution, ...): the
+        # request is at fault, with full provenance in the body.
+        return 422
+    return 500
+
+
+class CompilationServer(ThreadingHTTPServer):
+    """The daemon: one thread per request, shared :class:`ServiceState`."""
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        address: Tuple[str, int],
+        state: ServiceState,
+        verbose: bool = False,
+    ):
+        super().__init__(address, _Handler)
+        self.state = state
+        self.verbose = verbose
+
+    @property
+    def base_url(self) -> str:
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+
+class _Handler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+    server_version = f"repro-service/{__version__}"
+    # Bound blocking reads so an idle keep-alive connection releases its
+    # thread instead of pinning it forever.
+    timeout = 30
+
+    server: CompilationServer  # narrowed for the helpers below
+
+    # -- plumbing -----------------------------------------------------------
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if self.server.verbose:
+            super().log_message(format, *args)
+
+    def _send_json(self, status: int, body: Mapping[str, Any]) -> None:
+        payload = json.dumps(body).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def _read_json(self) -> Any:
+        length = int(self.headers.get("Content-Length", 0) or 0)
+        if length <= 0:
+            raise protocol.ProtocolError(
+                "bad_request", "request requires a JSON body"
+            )
+        if length > _MAX_BODY_BYTES:
+            raise protocol.ProtocolError(
+                "bad_request",
+                f"request body of {length} bytes exceeds the "
+                f"{_MAX_BODY_BYTES}-byte limit",
+            )
+        raw = self.rfile.read(length)
+        try:
+            return json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise protocol.ProtocolError(
+                "bad_request", f"request body is not valid JSON: {exc}"
+            ) from exc
+
+    def _fail(self, exc: BaseException) -> Tuple[int, Dict[str, Any]]:
+        status = _status_of(exc)
+        if isinstance(exc, ArtifactIntegrityError):
+            # The strict-cache tripwire: counted so /health goes (and
+            # stays) non-200 for the fleet's monitoring to see.
+            self.server.state.stats.count("errors.integrity")
+        return status, {"error": protocol.error_to_wire(exc)}
+
+    def _dispatch(self, endpoint: str, handler) -> None:
+        state = self.server.state
+        start = time.perf_counter()
+        try:
+            status, body = handler()
+        except BaseException as exc:  # every failure becomes structured JSON
+            status, body = self._fail(exc)
+        state.stats.record_request(
+            endpoint, time.perf_counter() - start, error=status >= 400
+        )
+        self._send_json(status, body)
+
+    # -- request cores ------------------------------------------------------
+
+    def _compile_one(self, body: Any) -> Dict[str, Any]:
+        wire = body if isinstance(body, Mapping) else None
+        if wire is None:
+            raise protocol.ProtocolError(
+                "bad_request", "compile request must be a JSON object"
+            )
+        known = {
+            "program", "topology", "initial_state", "options",
+            "deadline_seconds", "include_tables",
+        }
+        unknown = set(wire) - known
+        if unknown:
+            raise protocol.ProtocolError(
+                "bad_request", f"unknown request fields {sorted(unknown)}"
+            )
+        for required in ("program", "topology", "initial_state"):
+            if required not in wire:
+                raise protocol.ProtocolError(
+                    "bad_request", f"missing required field {required!r}"
+                )
+        deadline = wire.get("deadline_seconds")
+        if deadline is not None and (
+            not isinstance(deadline, (int, float)) or deadline <= 0
+        ):
+            raise protocol.ProtocolError(
+                "bad_request",
+                f"deadline_seconds must be a positive number, got {deadline!r}",
+            )
+        state = self.server.state
+        options = state.effective_options(
+            protocol.options_from_wire(
+                wire.get("options"), state.base_options
+            ),
+            deadline_seconds=deadline,
+        )
+        key, pipeline, source = state.compile_pipeline(
+            protocol.program_from_wire(wire["program"]),
+            protocol.topology_from_wire(wire["topology"]),
+            protocol.initial_state_from_wire(wire["initial_state"]),
+            options,
+        )
+        return self._artifact_body(
+            key, pipeline, source, wire.get("include_tables", True)
+        )
+
+    @staticmethod
+    def _artifact_body(
+        key: str, pipeline, source: str, include_tables: Any
+    ) -> Dict[str, Any]:
+        body: Dict[str, Any] = {
+            "artifact_key": key,
+            "source": source,
+            "report": pipeline.report().to_dict(),
+        }
+        if include_tables:
+            body["tables"] = protocol.tables_to_wire(pipeline.compiled)
+        return body
+
+    # -- endpoints ----------------------------------------------------------
+
+    def do_POST(self) -> None:  # noqa: N802 (stdlib handler API)
+        if self.path == "/compile":
+            self._dispatch(
+                "compile", lambda: (200, self._compile_one(self._read_json()))
+            )
+        elif self.path == "/compile/batch":
+            self._dispatch("compile_batch", self._handle_batch)
+        elif self.path == "/update":
+            self._dispatch("update", self._handle_update)
+        else:
+            self._dispatch("unknown", self._not_found)
+
+    def do_GET(self) -> None:  # noqa: N802
+        if self.path == "/health":
+            self._dispatch("health", self._handle_health)
+        elif self.path == "/stats":
+            self._dispatch(
+                "stats", lambda: (200, self.server.state.stats_body())
+            )
+        elif self.path == "/version":
+            self._dispatch("version", lambda: (200, _version_body()))
+        elif self.path == "/":
+            self._dispatch(
+                "index",
+                lambda: (200, {
+                    "service": "repro-compilation-service",
+                    "endpoints": list(_ENDPOINTS),
+                }),
+            )
+        else:
+            self._dispatch("unknown", self._not_found)
+
+    def _not_found(self) -> Tuple[int, Dict[str, Any]]:
+        return 404, {
+            "error": {
+                "type": "NotFound",
+                "code": "unknown_endpoint",
+                "message": f"no endpoint {self.path!r}",
+                "endpoints": list(_ENDPOINTS),
+            }
+        }
+
+    def _handle_batch(self) -> Tuple[int, Dict[str, Any]]:
+        body = self._read_json()
+        wire = body if isinstance(body, Mapping) else None
+        if wire is None or "requests" not in wire or not isinstance(
+            wire["requests"], list
+        ):
+            raise protocol.ProtocolError(
+                "bad_request",
+                'batch body must be {"requests": [compile requests]}',
+            )
+        results = []
+        for entry in wire["requests"]:
+            try:
+                results.append(self._compile_one(entry))
+            except BaseException as exc:
+                status, error_body = self._fail(exc)
+                results.append({**error_body, "status": status})
+        return 200, {"results": results}
+
+    def _handle_update(self) -> Tuple[int, Dict[str, Any]]:
+        body = self._read_json()
+        wire = body if isinstance(body, Mapping) else None
+        if wire is None or "artifact_key" not in wire or "delta" not in wire:
+            raise protocol.ProtocolError(
+                "bad_request",
+                'update body must be {"artifact_key": ..., "delta": ...}',
+            )
+        delta = protocol.delta_from_wire(wire["delta"])
+        key, updated = self.server.state.update_pipeline(
+            str(wire["artifact_key"]), delta
+        )
+        return 200, self._artifact_body(
+            key, updated, "update", wire.get("include_tables", True)
+        )
+
+    def _handle_health(self) -> Tuple[int, Dict[str, Any]]:
+        ok, body = self.server.state.health_body()
+        return (200 if ok else 503), body
+
+
+def _version_body() -> Dict[str, Any]:
+    return {
+        "package": __version__,
+        "protocol": protocol.PROTOCOL_VERSION,
+        "artifact_format": ARTIFACT_FORMAT,
+        "python": platform.python_version(),
+    }
+
+
+def create_server(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    options: Optional[CompileOptions] = None,
+    memo_size: int = DEFAULT_MEMO_SIZE,
+    verbose: bool = False,
+) -> CompilationServer:
+    """Bind a :class:`CompilationServer` (``port=0`` = ephemeral).
+
+    ``options`` is the server's base :class:`CompileOptions` — its
+    ``cache_dir`` / ``strict_cache`` (and the ``REPRO_CACHE_HMAC_KEY``
+    environment variable it resolves) are the deployment's cache policy;
+    requests can never override them.  Call ``serve_forever()`` on the
+    result, or use :func:`serve_in_thread` for an in-process daemon.
+    """
+    state = ServiceState(base_options=options, memo_size=memo_size)
+    return CompilationServer((host, port), state, verbose=verbose)
+
+
+@contextmanager
+def serve_in_thread(server: CompilationServer) -> Iterator[str]:
+    """Run ``server`` on a background thread, yielding its base URL and
+    shutting it down cleanly on exit — the harness used by the tests,
+    the example demo, the CI smoke step, and the warm-request bench."""
+    thread = threading.Thread(
+        target=server.serve_forever, name="repro-service", daemon=True
+    )
+    thread.start()
+    try:
+        yield server.base_url
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=10)

@@ -178,6 +178,32 @@ class TestCompile:
                      "--cache-dir", str(cache), "--strict-cache"]) == 1
         assert "FAIL" in capsys.readouterr().out
 
+    def test_report_json_prints_one_json_object(self, firewall_file, capsys):
+        """``--report --json``: the whole stdout is exactly the
+        machine-readable report (no tables mixed in), with the pinned
+        PipelineReport.to_dict key set."""
+        import json
+
+        assert main(["compile", firewall_file, "--topology", "firewall",
+                     "--report", "--json"]) == 0
+        out = capsys.readouterr().out
+        report = json.loads(out)
+        assert sorted(report) == [
+            "artifact_cache",
+            "backend",
+            "health",
+            "stages",
+            "stats",
+            "substages",
+            "total_seconds",
+        ]
+        assert set(report["stages"]) == {"ets", "nes", "compile"}
+
+    def test_json_requires_report(self, firewall_file):
+        with pytest.raises(SystemExit):
+            main(["compile", firewall_file, "--topology", "firewall",
+                  "--json"])
+
 
 class TestOptimize:
     def test_reports_savings(self, firewall_file, capsys):

@@ -755,3 +755,97 @@ class TestAppPipelineMemo:
         second = app.pipeline
         assert second is not first
         assert second.initial_state == (1,)
+
+
+# ---------------------------------------------------------------------------
+# Thread safety: the lazy stage memos under concurrent access
+# ---------------------------------------------------------------------------
+
+
+class TestPipelineThreadSafety:
+    def test_barrier_synchronized_threads_compile_once(self, monkeypatch):
+        """Two threads released together into ``.compiled`` run the
+        compile stage exactly once and observe the same object — the
+        service shares memoized pipelines across request threads, so a
+        double-compile (or a torn half-built stage) here would be a
+        served-table race there."""
+        import threading
+
+        import repro.pipeline as pipeline_module
+
+        calls = []
+        real_compile = pipeline_module.compile_nes
+
+        def counting_compile(*args, **kwargs):
+            calls.append(threading.get_ident())
+            return real_compile(*args, **kwargs)
+
+        monkeypatch.setattr(pipeline_module, "compile_nes", counting_compile)
+
+        app = firewall_app()
+        pipeline = Pipeline(app.program, app.topology, app.initial_state)
+        barrier = threading.Barrier(2)
+        results = [None, None]
+        errors = []
+
+        def race(slot):
+            try:
+                barrier.wait()
+                results[slot] = pipeline.compiled
+            except BaseException as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=race, args=(slot,)) for slot in (0, 1)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert not errors
+        assert len(calls) == 1
+        assert results[0] is not None
+        assert results[0] is results[1]
+        # Publish-last memoization: anyone who saw the compiled object
+        # also sees each stage timing recorded exactly once.
+        report = pipeline.report()
+        assert [name for name, _ in report.stage_seconds] == [
+            "ets", "nes", "compile",
+        ]
+
+
+# ---------------------------------------------------------------------------
+# PipelineReport.to_dict: the wire shape /stats and --json serve
+# ---------------------------------------------------------------------------
+
+
+class TestReportToDict:
+    def test_shape_is_pinned(self):
+        """The exact key set of the JSON report — the service's /compile
+        report field and ``repro compile --json`` both serve this, so a
+        drift here is a wire-format break."""
+        import json
+
+        app = firewall_app()
+        pipeline = Pipeline(app.program, app.topology, app.initial_state)
+        pipeline.compiled
+        report = pipeline.report().to_dict()
+        assert sorted(report) == [
+            "artifact_cache",
+            "backend",
+            "health",
+            "stages",
+            "stats",
+            "substages",
+            "total_seconds",
+        ]
+        # JSON-serializable end to end, and faithful to the report.
+        rehydrated = json.loads(json.dumps(report))
+        assert rehydrated == report
+        assert set(report["stages"]) == {"ets", "nes", "compile"}
+        assert report["backend"] == "serial"
+        assert report["artifact_cache"] is None  # no cache configured
+        assert report["total_seconds"] == pytest.approx(
+            sum(report["stages"].values())
+        )
