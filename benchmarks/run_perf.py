@@ -28,11 +28,20 @@ The benches mirror ``bench_compiler_perf.py`` (FDD construction/union,
 full app compile, NES conversion, trace checking, trie heuristic) plus
 the scaling cases from ``bench_scale_events.py`` (deep bandwidth-cap
 chains, wide multi-switch locality) that the bitset engine unlocked.
+
+The ``sim_benches`` section is the streaming events/sec lane: a
+100k-frame ring stream under the default :class:`repro.SimOptions`
+(``sim_events_per_sec_ring``) and under the retained record-identity
+reference path (``sim_events_per_sec_ring_reference``, same scenario,
+fewer rounds) -- their ratio is the streaming speedup -- plus a
+bandwidth-cap stream and the Definition 6 checker throughput on a warm
+firewall trace.  These run in ``--quick`` mode too.
 """
 
 from __future__ import annotations
 
 import argparse
+import gc
 import json
 import platform
 import statistics
@@ -40,7 +49,8 @@ import time
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Tuple
 
-from repro.apps import bandwidth_cap_app, firewall_app, ids_app
+from repro.apps import bandwidth_cap_app, firewall_app, ids_app, ring_app
+from repro.apps.base import HOSTS
 from repro.consistency.checker import NESChecker
 from repro.events.ets_to_nes import nes_of_ets
 from repro.events.locality import (
@@ -177,6 +187,153 @@ def _bench_trie_heuristic(options: CompileOptions) -> None:
     trie_rule_count(build_trie(heuristic_order(configs)))
 
 
+# -- simulator events/sec lane ------------------------------------------------
+#
+# Unlike the compile benches above, these report a throughput (processed
+# events per second of simulated traffic).  Each bench builds its
+# scenario outside the timed region and times only ``net.run()``,
+# returning ``(events_processed, elapsed_seconds)``; the harness folds
+# rounds into a median and derives events/sec.  ``gc.collect()`` runs
+# between rounds so one round's garbage does not tax the next.
+
+
+def _stream_net(app, sim_options, header, src, count, spacing):
+    from repro.network import CorrectLogic, FrameBatch, SimNetwork
+
+    logic = CorrectLogic(app.compiled, options=sim_options)
+    net = SimNetwork(app.topology, logic, seed=7, options=sim_options)
+    net.inject_stream(
+        src,
+        FrameBatch(
+            header,
+            count,
+            payload_bytes=64,
+            flow=("bulk", src),
+            spacing=spacing,
+        ),
+    )
+    return net
+
+
+def _timed_run(net) -> Tuple[int, float]:
+    start = time.perf_counter()
+    net.run()
+    return net.sim.events_processed, time.perf_counter() - start
+
+
+RING_STREAM_FRAMES = 100_000
+
+
+def _sim_ring(sim_options) -> Tuple[int, float]:
+    header = {
+        "ip_src": HOSTS["H1"],
+        "ip_dst": HOSTS["H2"],
+        "kind": 0,
+        "ident": 0,
+    }
+    net = _stream_net(
+        ring_app(2), sim_options, header, "H1", RING_STREAM_FRAMES, 1e-6
+    )
+    return _timed_run(net)
+
+
+def _bench_sim_events_ring() -> Tuple[int, float]:
+    from repro.sim_options import SimOptions
+
+    return _sim_ring(SimOptions())
+
+
+def _bench_sim_events_ring_reference() -> Tuple[int, float]:
+    # The retained record-identity reference path on the identical
+    # scenario: the recorded ratio against ``sim_events_per_sec_ring``
+    # is the streaming speedup the knobs buy.
+    from repro.sim_options import REFERENCE_SIM_OPTIONS
+
+    return _sim_ring(REFERENCE_SIM_OPTIONS)
+
+
+def _bench_sim_events_cap() -> Tuple[int, float]:
+    from repro.sim_options import SimOptions
+
+    header = {
+        "ip_src": HOSTS["H1"],
+        "ip_dst": HOSTS["H4"],
+        "kind": 0,
+        "ident": 0,
+    }
+    net = _stream_net(
+        bandwidth_cap_app(10), SimOptions(), header, "H1", 20_000, 1e-6
+    )
+    return _timed_run(net)
+
+
+# The firewall trace is a pure function of the seeded scenario; build it
+# once and hand each round a fresh checker (the memoized configurations
+# are what a warm controller would hold, the checker state is not).
+_TRACE_CACHE: Dict[str, object] = {}
+
+
+def _bench_trace_check_throughput() -> Tuple[int, float]:
+    from repro.sim_options import SimOptions
+
+    trace = _TRACE_CACHE.get("firewall")
+    if trace is None:
+        app = firewall_app()
+        rt = app.runtime(seed=0)
+        for i in range(6):
+            rt.inject("H1", {"ip_dst": 4, "ip_src": 1, "ident": i})
+            rt.run_until_quiescent()
+            rt.inject("H4", {"ip_dst": 1, "ip_src": 4, "ident": 100 + i})
+            rt.run_until_quiescent()
+        trace = rt.network_trace()
+        _TRACE_CACHE["firewall"] = trace
+        _TRACE_CACHE["app"] = app
+    app = _TRACE_CACHE["app"]
+    checker = NESChecker(app.nes, app.topology, options=SimOptions())
+    start = time.perf_counter()
+    report = checker.check(trace)
+    elapsed = time.perf_counter() - start
+    assert report
+    return len(trace.packets), elapsed
+
+
+# (name, bench, max_rounds): the reference lane is ~10x slower on the
+# same scenario, so it caps its rounds instead of shrinking the stream
+# (the ratio must be read at matched scale).
+SIM_BENCHES: Tuple[Tuple[str, Callable[[], Tuple[int, float]], Optional[int]], ...] = (
+    ("sim_events_per_sec_ring", _bench_sim_events_ring, None),
+    ("sim_events_per_sec_ring_reference", _bench_sim_events_ring_reference, 3),
+    ("sim_events_per_sec_cap", _bench_sim_events_cap, None),
+    ("trace_check_throughput", _bench_trace_check_throughput, None),
+)
+
+
+def run_sim(rounds: int) -> Dict[str, Dict[str, float]]:
+    results: Dict[str, Dict[str, float]] = {}
+    for name, fn, max_rounds in SIM_BENCHES:
+        n_rounds = rounds if max_rounds is None else min(rounds, max_rounds)
+        fn()  # warm-up round (app compile caches, interned structures)
+        times: List[float] = []
+        units = 0
+        for _ in range(n_rounds):
+            gc.collect()
+            units, elapsed = fn()
+            times.append(elapsed)
+        median = statistics.median(times)
+        results[name] = {
+            "median_s": round(median, 6),
+            "min_s": round(min(times), 6),
+            "units": units,
+            "events_per_sec": round(units / median, 1),
+            "rounds": n_rounds,
+        }
+        print(
+            f"{name:32s} median {median:.6f}s  "
+            f"{results[name]['events_per_sec']:>12,.0f} ev/s"
+        )
+    return results
+
+
 BENCHES: Tuple[Tuple[str, Callable[[CompileOptions], None]], ...] = (
     ("fdd_compile", _bench_fdd_compile),
     ("fdd_union", _bench_fdd_union),
@@ -270,6 +427,7 @@ def main() -> int:
     rounds = 3 if args.quick else 7
     results = run(rounds, options)
     stages = run_pipeline_stages(rounds, options)
+    sim = run_sim(rounds)
     payload = {
         "suite": "compiler_perf",
         "python": platform.python_version(),
@@ -277,6 +435,7 @@ def main() -> int:
         "backend": args.backend,
         "benches": results,
         "pipeline_stages": stages,
+        "sim_benches": sim,
     }
     Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {args.out}")

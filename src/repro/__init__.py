@@ -60,6 +60,7 @@ from .pipeline import (
     StageError,
     compile_app,
 )
+from .sim_options import SimOptions
 from .topology import Host, Topology
 
 __all__ = [
@@ -78,6 +79,7 @@ __all__ = [
     "service",
     "Pipeline",
     "CompileOptions",
+    "SimOptions",
     "Delta",
     "compile_app",
     "PipelineError",

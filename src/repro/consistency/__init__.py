@@ -7,6 +7,7 @@ from .traces import (
     TraceValidationError,
     packet_trace_follows,
     packet_trace_in_traces,
+    position_event_masks,
 )
 from .update import (
     CorrectnessReport,
@@ -21,6 +22,7 @@ __all__ = [
     "HappensBefore",
     "packet_trace_follows",
     "packet_trace_in_traces",
+    "position_event_masks",
     "EventDrivenUpdate",
     "first_occurrences",
     "CorrectnessReport",

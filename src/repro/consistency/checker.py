@@ -6,21 +6,33 @@ allowed by the NES turns the trace into a correct event-driven
 consistent update.  The checker searches the (finite) space of allowed
 sequences; it is the empirical counterpart of Theorem 1 and is exercised
 by the test suite against traces produced by the runtime semantics.
+
+With ``SimOptions(mask_digests=True)`` (the default) the whole search
+runs on interned event bitmasks: per-position match masks are computed
+once per trace, candidate sequences are pruned and enumerated on ints,
+first occurrences and the quiet case test single bits, and
+``Traces(C)`` membership is memoized across candidate sequences (the
+chains share prefixes, so the same (configuration, packet-trace) pairs
+recur).  Candidate sequences are enumerated *lazily* in the same
+preorder as before, so a correct trace early-exits after its first
+matching sequence -- ``sequences_tried`` counts how many Definition 2
+checks the last :meth:`NESChecker.check` actually ran.  The off-position
+(``SimOptions(mask_digests=False)``) retains the frozenset reference
+path; verdicts are identical either way.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, FrozenSet, Iterator, List, Optional, Tuple
 
 from ..events.event import Event
 from ..events.nes import NES
-from ..netkat.ast import Policy
 from ..netkat.compiler import Configuration, compile_policy
 from ..netkat.fdd import FDDBuilder
+from ..sim_options import SimOptions
 from ..stateful.ast import StateVector
 from ..topology import Topology
-from .traces import NetworkTrace, packet_trace_in_traces
+from .traces import NetworkTrace, packet_trace_in_traces, position_event_masks
 from .update import CorrectnessReport, EventDrivenUpdate, check_update_correctness
 
 __all__ = ["NESChecker", "check_trace_against_nes"]
@@ -29,12 +41,25 @@ __all__ = ["NESChecker", "check_trace_against_nes"]
 class NESChecker:
     """Checks traces against an NES, caching compiled configurations."""
 
-    def __init__(self, nes: NES, topology: Topology, max_sequence_length: int = 12):
+    def __init__(
+        self,
+        nes: NES,
+        topology: Topology,
+        max_sequence_length: int = 12,
+        options: Optional[SimOptions] = None,
+    ):
         self.nes = nes
         self.topology = topology
         self.max_sequence_length = max_sequence_length
+        self.options = options if options is not None else SimOptions()
+        self._mask = self.options.mask_digests
         self._builder = FDDBuilder()
         self._configs: Dict[StateVector, Configuration] = {}
+        self._configs_by_mask: Dict[int, Configuration] = {}
+        self._ambient: FrozenSet[Event] = frozenset(nes.events)
+        # Number of candidate sequences the last check() ran Definition 2
+        # on (the lazy-enumeration counter hook).
+        self.sequences_tried = 0
 
     def configuration(self, state: StateVector) -> Configuration:
         cached = self._configs.get(state)
@@ -51,18 +76,51 @@ class NESChecker:
     def config_of_event_set(self, event_set: FrozenSet[Event]) -> Configuration:
         return self.configuration(self.nes.state_of(event_set))
 
+    def _config_of_mask(self, mask: int) -> Configuration:
+        """The configuration of an encoded event-set (decode memoized, so
+        no frozensets materialize between checker steps after the first
+        visit of a collected-mask)."""
+        cached = self._configs_by_mask.get(mask)
+        if cached is None:
+            cached = self.config_of_event_set(self.nes.structure.decode(mask))
+            self._configs_by_mask[mask] = cached
+        return cached
+
     # -- Definition 6 ----------------------------------------------------------
 
     def check(self, trace: NetworkTrace) -> CorrectnessReport:
         """Is the trace correct with respect to the NES?"""
-        quiet = self._check_no_events(trace)
+        self.sequences_tried = 0
+        masks = (
+            position_event_masks(trace, self.nes.structure.universe)
+            if self._mask
+            else None
+        )
+        quiet = self._check_no_events(trace, masks)
         if quiet is not None:
             return quiet
 
+        happens_before = None
+        membership = self._membership_memo() if self._mask else None
+        ambient_mask = self.nes.structure.all_mask
         reports: List[CorrectnessReport] = []
-        for sequence in self._candidate_sequences(trace):
-            update = self._update_of_sequence(sequence)
-            report = check_update_correctness(trace, update)
+        for sequence, bits in self._candidate_sequences(trace, masks):
+            self.sequences_tried += 1
+            update = self._update_of_sequence(sequence, bits)
+            if self._mask:
+                if happens_before is None:
+                    happens_before = trace.happens_before()
+                report = check_update_correctness(
+                    trace,
+                    update,
+                    happens_before=happens_before,
+                    position_masks=masks,
+                    event_bits=bits,
+                    ambient_mask=ambient_mask,
+                    membership=membership,
+                )
+            else:
+                report = check_update_correctness(trace, update)
             if report:
                 return report
             reports.append(report)
@@ -80,9 +138,31 @@ class NESChecker:
                 return report
         return reports[0]
 
-    def _check_no_events(self, trace: NetworkTrace) -> Optional[CorrectnessReport]:
+    def _membership_memo(self) -> Callable:
+        """A per-check ``Traces(C)`` membership memo: candidate chains
+        share configuration prefixes, so the same (configuration,
+        packet-trace) pairs recur across sequences.  Configurations are
+        cached on the checker, so their ids are stable keys here."""
+        memo: Dict[Tuple[int, Tuple[int, ...]], bool] = {}
+
+        def member(config: Configuration, trace: NetworkTrace, t) -> bool:
+            key = (id(config), t)
+            hit = memo.get(key)
+            if hit is None:
+                hit = packet_trace_in_traces(config, trace.packet_trace(t))
+                memo[key] = hit
+            return hit
+
+        return member
+
+    def _check_no_events(
+        self, trace: NetworkTrace, masks: Optional[Tuple[int, ...]] = None
+    ) -> Optional[CorrectnessReport]:
         """The first disjunct of Definition 6, or None when events fire."""
-        if any(
+        if masks is not None:
+            if any(masks):
+                return None
+        elif any(
             event.matches(lp)
             for lp in trace.packets
             for event in self.nes.events
@@ -98,25 +178,45 @@ class NESChecker:
                 )
         return CorrectnessReport(True)
 
-    def _candidate_sequences(self, trace: NetworkTrace) -> List[Tuple[Event, ...]]:
-        """Allowed event sequences worth trying against this trace.
+    def _candidate_sequences(
+        self, trace: NetworkTrace, masks: Optional[Tuple[int, ...]] = None
+    ) -> Iterator[Tuple[Tuple[Event, ...], Tuple[int, ...]]]:
+        """Lazily enumerate allowed event sequences worth trying.
 
         Only events matched by some trace position can have a first
         occurrence, so sequences are built from those (hugely pruning
-        the search).
+        the search).  Yields ``(sequence, per-event bits)`` pairs in the
+        same preorder as the old materialized list; being a generator,
+        a correct trace stops the enumeration at its first match.
         """
         structure = self.nes.structure
-        matched = [
-            (event, 1 << structure.event_index[event])
-            for event in sorted(self.nes.events, key=repr)
-            if any(event.matches(lp) for lp in trace.packets)
-        ]
-        sequences: List[Tuple[Event, ...]] = []
+        if masks is not None:
+            seen = 0
+            for mask in masks:
+                seen |= mask
+            universe = structure.universe
+            matched = []
+            scan = seen
+            while scan:
+                low = scan & -scan
+                scan ^= low
+                # Ascending bit order == sorted-by-repr order: the
+                # universe is interned sorted by repr.
+                matched.append((universe[low.bit_length() - 1], low))
+        else:
+            matched = [
+                (event, 1 << structure.event_index[event])
+                for event in sorted(self.nes.events, key=repr)
+                if any(event.matches(lp) for lp in trace.packets)
+            ]
+        max_length = self.max_sequence_length
 
-        def extend(prefix: Tuple[Event, ...], collected: int) -> None:
-            if len(prefix) > 0:
-                sequences.append(prefix)
-            if len(prefix) >= self.max_sequence_length:
+        def extend(
+            prefix: Tuple[Event, ...], bits: Tuple[int, ...], collected: int
+        ) -> Iterator[Tuple[Tuple[Event, ...], Tuple[int, ...]]]:
+            if prefix:
+                yield prefix, bits
+            if len(prefix) >= max_length:
                 return
             for event, bit in matched:
                 if collected & bit:
@@ -125,24 +225,32 @@ class NESChecker:
                     continue
                 if not structure.con_mask(collected | bit):
                     continue
-                extend(prefix + (event,), collected | bit)
+                yield from extend(prefix + (event,), bits + (bit,), collected | bit)
 
-        extend((), 0)
-        return sequences
+        yield from extend((), (), 0)
 
-    def _update_of_sequence(self, sequence: Tuple[Event, ...]) -> EventDrivenUpdate:
+    def _update_of_sequence(
+        self, sequence: Tuple[Event, ...], bits: Tuple[int, ...]
+    ) -> EventDrivenUpdate:
         configs: List[Configuration] = [self.config_of_event_set(frozenset())]
-        collected: FrozenSet[Event] = frozenset()
-        for event in sequence:
-            collected = collected | {event}
-            configs.append(self.config_of_event_set(collected))
-        return EventDrivenUpdate(
-            tuple(configs), tuple(sequence), frozenset(self.nes.events)
-        )
+        if self._mask:
+            collected_mask = 0
+            for bit in bits:
+                collected_mask |= bit
+                configs.append(self._config_of_mask(collected_mask))
+        else:
+            collected: FrozenSet[Event] = frozenset()
+            for event in sequence:
+                collected = collected | {event}
+                configs.append(self.config_of_event_set(collected))
+        return EventDrivenUpdate(tuple(configs), tuple(sequence), self._ambient)
 
 
 def check_trace_against_nes(
-    trace: NetworkTrace, nes: NES, topology: Topology
+    trace: NetworkTrace,
+    nes: NES,
+    topology: Topology,
+    options: Optional[SimOptions] = None,
 ) -> CorrectnessReport:
     """One-shot convenience wrapper around :class:`NESChecker`."""
-    return NESChecker(nes, topology).check(trace)
+    return NESChecker(nes, topology, options=options).check(trace)

@@ -26,6 +26,7 @@ __all__ = [
     "HappensBefore",
     "packet_trace_in_traces",
     "packet_trace_follows",
+    "position_event_masks",
 ]
 
 
@@ -73,6 +74,27 @@ class NetworkTrace:
 
     def happens_before(self) -> "HappensBefore":
         return HappensBefore(self)
+
+
+def position_event_masks(
+    trace: NetworkTrace, universe: Sequence
+) -> Tuple[int, ...]:
+    """Per-position bitmask of matching events (bit ``i`` ↔ ``universe[i]``).
+
+    The mask-threaded Definition 6 checker computes this once per trace;
+    every downstream scan -- the quiet case, candidate-sequence pruning,
+    first-occurrence search, and the trailing ambient-event check -- is
+    then a single int operation per position instead of an
+    events × positions match loop per candidate sequence.
+    """
+    masks: List[int] = []
+    for lp in trace.packets:
+        mask = 0
+        for index, event in enumerate(universe):
+            if event.matches(lp):
+                mask |= 1 << index
+        masks.append(mask)
+    return tuple(masks)
 
 
 def _check_tree_condition(trace_indices: FrozenSet[Tuple[int, ...]]) -> None:

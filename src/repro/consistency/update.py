@@ -12,7 +12,7 @@ one.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import FrozenSet, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
 from ..events.event import Event
 from ..netkat.compiler import Configuration
@@ -63,7 +63,13 @@ class EventDrivenUpdate:
 
 
 def first_occurrences(
-    trace: NetworkTrace, update: EventDrivenUpdate
+    trace: NetworkTrace,
+    update: EventDrivenUpdate,
+    *,
+    position_masks: Optional[Sequence[int]] = None,
+    event_bits: Optional[Sequence[int]] = None,
+    ambient_mask: int = 0,
+    membership: Optional[Callable] = None,
 ) -> Optional[Tuple[int, ...]]:
     """``FO(ntr, U)``: the first-occurrence index of each update event.
 
@@ -72,21 +78,41 @@ def first_occurrences(
     event, some position after the last event matches an ambient event,
     or the triggering packet was not processed by the immediately
     preceding configuration.
+
+    The mask-threaded checker passes per-position match masks
+    (``position_masks``, bit ``i`` set iff event ``i`` matches that
+    position), the per-step event bits, and the ambient-set mask, so the
+    occurrence scans are single int tests; ``membership(config, trace,
+    t)`` replaces :func:`packet_trace_in_traces` so the checker can
+    memoize membership across candidate sequences.  Results are
+    identical to the default (frozenset) path.
     """
+    use_masks = position_masks is not None and event_bits is not None
+    n = len(trace.packets)
     indices: List[int] = []
     previous = -1
     for step, event in enumerate(update.events):
         found: Optional[int] = None
-        for j in range(previous + 1, len(trace.packets)):
-            if event.matches(trace.packets[j]):
-                found = j
-                break
+        if use_masks:
+            bit = event_bits[step]
+            for j in range(previous + 1, n):
+                if position_masks[j] & bit:
+                    found = j
+                    break
+        else:
+            for j in range(previous + 1, n):
+                if event.matches(trace.packets[j]):
+                    found = j
+                    break
         if found is None:
             return None
         # The event can be triggered only by a packet processed in the
         # immediately preceding configuration C_step.
         config = update.configurations[step]
-        if not any(
+        if membership is not None:
+            if not any(membership(config, trace, t) for t in trace.traces_through(found)):
+                return None
+        elif not any(
             packet_trace_in_traces(config, trace.packet_trace(t))
             for t in trace.traces_through(found)
         ):
@@ -101,9 +127,18 @@ def first_occurrences(
     # copies are distinct events here: a packet matching the *next*
     # occurrence of a chain event forces the Definition 6 search onto
     # the longer sequence that includes it.
+    if use_masks:
+        fired_mask = 0
+        for bit in event_bits:
+            fired_mask |= bit
+        remaining_mask = ambient_mask & ~fired_mask
+        for j in range(previous + 1, n):
+            if position_masks[j] & remaining_mask:
+                return None
+        return tuple(indices)
     fired = frozenset(update.events)
     remaining = update.ambient_events - fired
-    for j in range(previous + 1, len(trace.packets)):
+    for j in range(previous + 1, n):
         if any(e.matches(trace.packets[j]) for e in remaining):
             return None
     return tuple(indices)
@@ -122,23 +157,51 @@ class CorrectnessReport:
 
 
 def check_update_correctness(
-    trace: NetworkTrace, update: EventDrivenUpdate
+    trace: NetworkTrace,
+    update: EventDrivenUpdate,
+    *,
+    happens_before: Optional[HappensBefore] = None,
+    position_masks: Optional[Sequence[int]] = None,
+    event_bits: Optional[Sequence[int]] = None,
+    ambient_mask: int = 0,
+    membership: Optional[Callable] = None,
 ) -> CorrectnessReport:
-    """Definition 2: is ``trace`` correct with respect to ``update``?"""
-    fo = first_occurrences(trace, update)
+    """Definition 2: is ``trace`` correct with respect to ``update``?
+
+    The keyword arguments are the mask-threaded checker's hoists (see
+    :func:`first_occurrences`); ``happens_before`` may be precomputed
+    once per trace since it does not depend on the update.  All are
+    optional and behaviour-preserving.
+    """
+    fo = first_occurrences(
+        trace,
+        update,
+        position_masks=position_masks,
+        event_bits=event_bits,
+        ambient_mask=ambient_mask,
+        membership=membership,
+    )
     if fo is None:
         return CorrectnessReport(False, "FO(ntr, U) does not exist")
 
-    happens_before = trace.happens_before()
+    if happens_before is None:
+        happens_before = trace.happens_before()
     chain = update.configurations
 
     for t in sorted(trace.trace_indices):
-        packet_trace = trace.packet_trace(t)
-        processed_by = [
-            idx
-            for idx, config in enumerate(chain)
-            if packet_trace_in_traces(config, packet_trace)
-        ]
+        if membership is not None:
+            processed_by = [
+                idx
+                for idx, config in enumerate(chain)
+                if membership(config, trace, t)
+            ]
+        else:
+            packet_trace = trace.packet_trace(t)
+            processed_by = [
+                idx
+                for idx, config in enumerate(chain)
+                if packet_trace_in_traces(config, packet_trace)
+            ]
         if not processed_by:
             return CorrectnessReport(
                 False,

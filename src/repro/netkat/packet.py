@@ -31,7 +31,7 @@ SW = "sw"
 PT = "pt"
 
 
-@dataclass(frozen=True, order=True)
+@dataclass(frozen=True, order=True, slots=True)
 class Location:
     """A switch-port pair ``n:m``."""
 
@@ -57,7 +57,7 @@ class Packet:
     the denotational semantics of NetKAT works with sets of packets.
     """
 
-    __slots__ = ("_fields", "_hash")
+    __slots__ = ("_fields", "_hash", "_swpt")
 
     def __init__(self, fields: Mapping[str, int] | Iterable[Tuple[str, int]] = ()):
         items = dict(fields)
@@ -70,6 +70,9 @@ class Packet:
                 )
         object.__setattr__(self, "_fields", tuple(sorted(items.items())))
         object.__setattr__(self, "_hash", hash(self._fields))
+        object.__setattr__(
+            self, "_swpt", (items.get(SW), items.get(PT))
+        )
 
     def __getstate__(self):
         # The cached hash is PYTHONHASHSEED-dependent; recompute it in
@@ -79,6 +82,7 @@ class Packet:
     def __setstate__(self, fields):
         object.__setattr__(self, "_fields", fields)
         object.__setattr__(self, "_hash", hash(fields))
+        object.__setattr__(self, "_swpt", (dict(fields).get(SW), dict(fields).get(PT)))
 
     # -- mapping interface -------------------------------------------------
 
@@ -134,8 +138,16 @@ class Packet:
         return Location(self[SW], self[PT])
 
     def at(self, location: Location) -> "Packet":
-        """Return a copy relocated to ``location``."""
+        """Return a copy relocated to ``location`` (self when already there)."""
+        sw, pt = self._swpt
+        if sw == location.switch and pt == location.port:
+            return self
         return self.set(SW, location.switch).set(PT, location.port)
+
+    def is_at(self, switch: int, port: int) -> bool:
+        """Location test without a field scan (the simulator hot path)."""
+        swpt = self._swpt
+        return swpt[0] == switch and swpt[1] == port
 
     # -- dunder boilerplate ---------------------------------------------------
 

@@ -4,8 +4,10 @@ from .simulator import (
     DeliveryRecord,
     DropRecord,
     Frame,
+    FrameBatch,
     LinkParams,
     SimNetwork,
+    SimOptions,
     Simulator,
 )
 from .stats import (
@@ -30,7 +32,9 @@ from .traffic import (
 __all__ = [
     "Simulator",
     "SimNetwork",
+    "SimOptions",
     "Frame",
+    "FrameBatch",
     "LinkParams",
     "DeliveryRecord",
     "DropRecord",

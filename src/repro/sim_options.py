@@ -1,0 +1,50 @@
+"""Simulator performance knobs, mirroring the compiler's options rule.
+
+Exactly like :class:`repro.pipeline.CompileOptions`, every simulator
+performance knob lands in one frozen dataclass with an off-position
+identity test: the knobs change *speed*, never behaviour.  The
+off-position (``SimOptions(mask_digests=False, batch=False)``) is the
+retained frozenset reference path; the record-identity goldens in
+``tests/test_sim_streaming.py`` pin delivery/drop record sequences and
+checker verdicts to be identical across every knob combination.
+
+This module is deliberately dependency-free (dataclasses only) so the
+network layer, the switch logics, and the consistency checker can all
+import it without creating package cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["SimOptions", "REFERENCE_SIM_OPTIONS"]
+
+
+@dataclass(frozen=True)
+class SimOptions:
+    """Knobs for the streaming simulator and the trace checker.
+
+    ``mask_digests``
+        Thread interned event masks (``events/structure.py`` bit
+        interning) through the hot path: frames carry
+        ``tag_mask``/``digest_mask`` ints, per-switch registers are
+        ints, enable/consistency checks run via
+        ``enables_mask``/``con_mask``, and the Definition 6 checker
+        works on per-position match masks -- no ``frozenset``
+        allocation per packet.  Off: the original frozenset path.
+
+    ``batch``
+        The batched streaming layer: ``FrameBatch`` header interning in
+        ``SimNetwork.inject_stream``, the per-switch classification
+        memo (match-key -> forwarding outputs, keyed on the interned
+        header), and the per-link packet-relocation memo, so
+        identical-header packets skip FDD/table re-evaluation.  Off:
+        every packet re-evaluates the flow table.
+    """
+
+    mask_digests: bool = True
+    batch: bool = True
+
+
+# The retained record-identity reference path (all knobs off).
+REFERENCE_SIM_OPTIONS = SimOptions(mask_digests=False, batch=False)

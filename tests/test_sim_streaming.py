@@ -1,0 +1,390 @@
+"""Heavy-traffic streaming goldens: the SimOptions knobs change speed,
+never behaviour.
+
+Every test here pins the record-identity contract of
+:class:`repro.sim_options.SimOptions`: the off-position
+(``mask_digests=False, batch=False``) is the retained frozenset
+reference path, and every knob combination must produce byte-identical
+``DeliveryRecord``/``DropRecord`` sequences and checker verdicts.  The
+satellites ride along: the static egress map, the lazy checker
+enumeration, the delivery indices, and seeded determinism.
+"""
+
+import pytest
+
+from repro.apps import (
+    SIGNAL_FIELD,
+    authentication_app,
+    bandwidth_cap_app,
+    firewall_app,
+    ids_app,
+    learning_multi_app,
+    learning_switch_app,
+    ring_app,
+)
+from repro.apps.base import HOSTS
+from repro.consistency import NESChecker
+from repro.netkat.packet import Packet
+from repro.network import (
+    CorrectLogic,
+    Frame,
+    FrameBatch,
+    SimNetwork,
+    SimOptions,
+)
+from repro.sim_options import REFERENCE_SIM_OPTIONS
+from repro.topology import Host
+
+# Every knob combination; index 0 is the reference path.
+ALL_OPTIONS = (
+    REFERENCE_SIM_OPTIONS,
+    SimOptions(mask_digests=False, batch=True),
+    SimOptions(mask_digests=True, batch=False),
+    SimOptions(mask_digests=True, batch=True),
+)
+
+APPS = (
+    ("firewall", firewall_app),
+    ("ids", ids_app),
+    ("authentication", authentication_app),
+    ("ring", lambda: ring_app(2)),
+    ("bandwidth_cap", bandwidth_cap_app),
+    ("learning_switch", learning_switch_app),
+    ("learning_multi", learning_multi_app),
+)
+
+
+def _stream_records(make_app, options, src, dst, count, spacing=1e-5,
+                    signal=None):
+    """Run a constant-header stream (plus an optional mid-stream signal
+    frame) and return the full record sequences."""
+    app = make_app()
+    logic = CorrectLogic(app.compiled, options=options)
+    net = SimNetwork(app.topology, logic, seed=7, options=options)
+    batch = FrameBatch(
+        {"ip_src": HOSTS[src], "ip_dst": HOSTS[dst], "kind": 0, "ident": 0},
+        count,
+        payload_bytes=64,
+        flow=("bulk", src, dst),
+        spacing=spacing,
+    )
+    net.inject_stream(src, batch)
+    if signal is not None:
+        at, host, fields = signal
+        net.inject(host, Frame(packet=Packet(fields), flow=("signal",)), at=at)
+    net.run()
+    return net, tuple(net.deliveries), tuple(net.drops)
+
+
+class TestRecordIdentityGoldens:
+    """Same records under every knob combination, on every seed app."""
+
+    @pytest.mark.parametrize("name,make_app", APPS, ids=[n for n, _ in APPS])
+    def test_stream_records_identical_across_knobs(self, name, make_app):
+        hosts = [h.name for h in make_app().topology.hosts]
+        src, dst = hosts[0], hosts[-1]
+        _, ref_deliveries, ref_drops = _stream_records(
+            make_app, REFERENCE_SIM_OPTIONS, src, dst, 120
+        )
+        # Every scenario must actually exercise the data plane.
+        assert len(ref_deliveries) + len(ref_drops) >= 120
+        for options in ALL_OPTIONS[1:]:
+            _, deliveries, drops = _stream_records(
+                make_app, options, src, dst, 120
+            )
+            assert deliveries == ref_deliveries, f"{name} @ {options}"
+            assert drops == ref_drops, f"{name} @ {options}"
+
+    def test_firewall_blocked_direction_drop_records_identical(self):
+        # Figure 10/11 shape: H4->H1 is dropped until a request goes out.
+        _, ref_deliveries, ref_drops = _stream_records(
+            firewall_app, REFERENCE_SIM_OPTIONS, "H4", "H1", 80
+        )
+        assert not ref_deliveries and len(ref_drops) == 80
+        for options in ALL_OPTIONS[1:]:
+            _, deliveries, drops = _stream_records(
+                firewall_app, options, "H4", "H1", 80
+            )
+            assert deliveries == ref_deliveries
+            assert drops == ref_drops
+
+    def test_ring_signal_under_traffic_identical(self):
+        # Figure 16 shape: a signal frame flips the ring configuration
+        # in the middle of a packet stream, so plan caches and register
+        # masks are invalidated while the backlog drains.
+        signal = (
+            2e-3,
+            "H1",
+            {"ip_src": 1, SIGNAL_FIELD: 1, "kind": 0, "ident": 0},
+        )
+        _, ref_deliveries, ref_drops = _stream_records(
+            lambda: ring_app(2), REFERENCE_SIM_OPTIONS, "H1", "H2", 400,
+            signal=signal,
+        )
+        assert len(ref_deliveries) == 401  # 400 stream + the signal
+        for options in ALL_OPTIONS[1:]:
+            _, deliveries, drops = _stream_records(
+                lambda: ring_app(2), options, "H1", "H2", 400, signal=signal
+            )
+            assert deliveries == ref_deliveries
+            assert drops == ref_drops
+
+    def test_bandwidth_cap_stream_identical(self):
+        # Figure 14 shape: a bulk stream through the capped chain.
+        _, ref_deliveries, ref_drops = _stream_records(
+            bandwidth_cap_app, REFERENCE_SIM_OPTIONS, "H1", "H4", 200,
+            spacing=1e-6,
+        )
+        for options in ALL_OPTIONS[1:]:
+            _, deliveries, drops = _stream_records(
+                bandwidth_cap_app, options, "H1", "H4", 200, spacing=1e-6
+            )
+            assert deliveries == ref_deliveries
+            assert drops == ref_drops
+
+    def test_unsorted_times_column_identical(self):
+        # An explicitly unsorted times column defeats the lazy one-ahead
+        # chain; the eager fallback must stay record-identical too.
+        def run(options):
+            app = ring_app(2)
+            net = SimNetwork(
+                app.topology,
+                CorrectLogic(app.compiled, options=options),
+                seed=7,
+                options=options,
+            )
+            batch = FrameBatch(
+                {"ip_src": 1, "ip_dst": 2, "kind": 0, "ident": 0},
+                6,
+                payload_bytes=64,
+                times=[5e-4, 1e-4, 3e-4, 2e-4, 6e-4, 0.0],
+            )
+            net.inject_stream("H1", batch)
+            net.run()
+            return tuple(net.deliveries), tuple(net.drops)
+
+        reference = run(REFERENCE_SIM_OPTIONS)
+        for options in ALL_OPTIONS[1:]:
+            assert run(options) == reference
+
+
+class TestCheckerVerdictIdentity:
+    """Definition 6 verdicts agree between the mask path and the
+    frozenset reference path on runtime traces from the seed apps."""
+
+    @pytest.mark.parametrize("name,make_app", APPS, ids=[n for n, _ in APPS])
+    def test_verdicts_identical(self, name, make_app):
+        app = make_app()
+        rt = app.runtime(seed=0)
+        hosts = [h.name for h in app.topology.hosts]
+        src, dst = hosts[0], hosts[-1]
+        for i in range(3):
+            rt.inject(src, {"ip_dst": HOSTS[dst], "ip_src": HOSTS[src], "ident": i})
+            rt.run_until_quiescent()
+        trace = rt.network_trace()
+        masked = NESChecker(
+            app.nes, app.topology, options=SimOptions(mask_digests=True)
+        ).check(trace)
+        reference = NESChecker(
+            app.nes, app.topology, options=SimOptions(mask_digests=False)
+        ).check(trace)
+        assert bool(masked) == bool(reference)
+        assert masked.reason == reference.reason
+
+
+class TestLazyCheckerEnumeration:
+    def test_early_exit_tries_fewer_sequences_than_exist(self):
+        # A correct trace firing two independent events: four candidate
+        # sequences exist (each event alone plus both orders), but the
+        # lazy generator stops at the first match instead of
+        # materializing them all.
+        app = learning_multi_app()
+        rt = app.runtime(seed=0)
+        shots = [("H1", 4, 1), ("H2", 4, 2), ("H4", 1, 4)]
+        for i, (host, dst, src) in enumerate(shots * 2):
+            rt.inject(host, {"ip_dst": dst, "ip_src": src, "ident": i})
+            rt.run_until_quiescent()
+        trace = rt.network_trace()
+        checker = NESChecker(app.nes, app.topology)
+        report = checker.check(trace)
+        assert report
+        total = sum(1 for _ in checker._candidate_sequences(trace))
+        assert 1 <= checker.sequences_tried < total
+
+
+class TestEgressMap:
+    def test_ports_table_static_and_first_link_wins(self):
+        # The egress map is built once from the topology -- switch ->
+        # port -> host-or-link with hosts shadowing links and the first
+        # link in (switch, port) order winning -- so per-packet egress
+        # resolution never re-sorts link lists.
+        app = ring_app(2)
+        net = SimNetwork(app.topology, CorrectLogic(app.compiled), seed=0)
+        links = sorted(app.topology.links())
+        for src, dst in links:
+            target = net._ports[src.switch][src.port]
+            if isinstance(target, Host):
+                continue  # a host attachment shadows this link
+            first = next(d for s, d in links if s == src)
+            assert target.dst == first
+        for host in app.topology.hosts:
+            at = host.attachment
+            assert net._ports[at.switch][at.port] is host
+
+    def test_flood_emission_order_identical_across_knobs(self):
+        # Multi-emit (flood) outputs must come out in the same port
+        # order on the plan-replay path as on the reference path.
+        _, ref_deliveries, ref_drops = _stream_records(
+            learning_switch_app, REFERENCE_SIM_OPTIONS, "H1", "H4", 60
+        )
+        for options in ALL_OPTIONS[1:]:
+            _, deliveries, drops = _stream_records(
+                learning_switch_app, options, "H1", "H4", 60
+            )
+            assert deliveries == ref_deliveries
+            assert drops == ref_drops
+
+
+class TestDeliveryIndices:
+    def _mixed_flow_net(self, options):
+        app = ring_app(2)
+        net = SimNetwork(
+            app.topology,
+            CorrectLogic(app.compiled, options=options),
+            seed=7,
+            options=options,
+        )
+        for ident, flow in enumerate(
+            [("bulk", "H1", "H2"), ("ping", "H1", "H2"), ("bulk", "H1", "H2")]
+        ):
+            batch = FrameBatch(
+                {"ip_src": 1, "ip_dst": 2, "kind": 0, "ident": ident},
+                40,
+                payload_bytes=64,
+                flow=flow,
+                start=ident * 1e-5,
+                spacing=3e-5,
+            )
+            net.inject_stream("H1", batch)
+        net.run()
+        return net
+
+    @pytest.mark.parametrize("options", ALL_OPTIONS, ids=str)
+    def test_indices_match_full_scan(self, options):
+        net = self._mixed_flow_net(options)
+        assert len(net.deliveries) == 120
+        for host in ("H1", "H2"):
+            scan = [r for r in net.deliveries if r.host == host]
+            assert net.deliveries_to(host) == scan
+        for prefix in ((), ("bulk",), ("ping",), ("bulk", "H1", "H2"), ("no",)):
+            scan = [
+                r
+                for r in net.deliveries
+                if r.frame.flow[: len(prefix)] == prefix
+            ]
+            assert net.delivered_flows(prefix) == scan
+
+    def test_indices_fold_incrementally_between_runs(self):
+        net = self._mixed_flow_net(SimOptions())
+        first = net.deliveries_to("H2")
+        batch = FrameBatch(
+            {"ip_src": 1, "ip_dst": 2, "kind": 0, "ident": 9},
+            10,
+            payload_bytes=64,
+            flow=("late", "H1", "H2"),
+            start=net.now + 1e-4,
+            spacing=1e-5,
+        )
+        net.inject_stream("H1", batch)
+        net.run()
+        assert len(net.deliveries_to("H2")) == len(first) + 10
+        assert net.delivered_flows(("late",)) == net.deliveries[-10:]
+
+
+class TestDeterminismAndOptions:
+    def test_same_seed_same_records_in_one_process(self):
+        runs = [
+            _stream_records(lambda: ring_app(2), SimOptions(), "H1", "H2", 300)
+            for _ in range(2)
+        ]
+        assert runs[0][1] == runs[1][1]
+        assert runs[0][2] == runs[1][2]
+        assert runs[0][0].sim.events_processed == runs[1][0].sim.events_processed
+
+    def test_sim_options_frozen_defaults(self):
+        options = SimOptions()
+        assert options.mask_digests and options.batch
+        assert REFERENCE_SIM_OPTIONS == SimOptions(
+            mask_digests=False, batch=False
+        )
+        with pytest.raises(Exception):
+            options.batch = False
+
+    def test_plan_cache_invalidated_by_external_register_mutation(self):
+        # Mutating logic.registers[sw] directly (the documented test
+        # surface) must bump the plan generation so stale emission plans
+        # are never replayed.
+        app = ring_app(2)
+        options = SimOptions()
+        logic = CorrectLogic(app.compiled, options=options)
+        net = SimNetwork(app.topology, logic, seed=7, options=options)
+        net.inject_stream(
+            "H1",
+            FrameBatch(
+                {"ip_src": 1, "ip_dst": 2, "kind": 0, "ident": 0},
+                20,
+                payload_bytes=64,
+                spacing=1e-5,
+            ),
+        )
+        net.run()
+        switch = app.topology.hosts[0].attachment.switch
+        before = logic.plan_generations[switch]
+        event = next(iter(app.nes.events))
+        logic.registers[switch].add(event)
+        assert logic.plan_generations[switch] > before
+
+
+@pytest.mark.slow
+class TestMillionFrameSoak:
+    def test_million_frame_stream_delivers_all_and_matches_reference_prefix(self):
+        count = 1_000_000
+        app = ring_app(2)
+        options = SimOptions()
+        net = SimNetwork(
+            app.topology, CorrectLogic(app.compiled, options=options),
+            seed=7, options=options,
+        )
+        batch = FrameBatch(
+            {"ip_src": 1, "ip_dst": 2, "kind": 0, "ident": 0},
+            count,
+            payload_bytes=64,
+            flow=("bulk", "H1", "H2"),
+            spacing=1e-6,
+        )
+        net.inject_stream("H1", batch)
+        net.run()
+        assert len(net.deliveries) == count
+        assert net.sim.events_processed == 6 * count
+        # Switch service is FIFO, so the first frames' records are
+        # unaffected by the later backlog: the soak's prefix must be
+        # byte-identical to a reference-path run of just that prefix.
+        sample = 2000
+        ref = SimNetwork(
+            app.topology,
+            CorrectLogic(app.compiled, options=REFERENCE_SIM_OPTIONS),
+            seed=7,
+            options=REFERENCE_SIM_OPTIONS,
+        )
+        ref.inject_stream(
+            "H1",
+            FrameBatch(
+                {"ip_src": 1, "ip_dst": 2, "kind": 0, "ident": 0},
+                sample,
+                payload_bytes=64,
+                flow=("bulk", "H1", "H2"),
+                spacing=1e-6,
+            ),
+        )
+        ref.run()
+        assert tuple(net.deliveries[:sample]) == tuple(ref.deliveries)
