@@ -36,6 +36,12 @@ reference path (``sim_events_per_sec_ring_reference``, same scenario,
 fewer rounds) -- their ratio is the streaming speedup -- plus a
 bandwidth-cap stream and the Definition 6 checker throughput on a warm
 firewall trace.  These run in ``--quick`` mode too.
+
+``obs_overhead_noop`` pins the uninstalled cost of the
+:mod:`repro.obs` instrumentation hooks (span / counter / histogram
+sites with no registry or tracer installed): one module-global read and
+an early return per site, so its median must stay flat as more of the
+codebase is instrumented.
 """
 
 from __future__ import annotations
@@ -58,6 +64,8 @@ from repro.events.locality import (
     minimally_inconsistent_sets,
 )
 from repro.netkat.fdd import FDDBuilder
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.optimize.trie import build_trie, heuristic_order, trie_rule_count
 from repro.pipeline import BACKENDS, CompileOptions, Delta, Pipeline
 from repro.stateful.ets import build_ets
@@ -174,6 +182,27 @@ def _bench_trace_checker(options: CompileOptions) -> None:
         rt.run_until_quiescent()
     trace = rt.network_trace()
     NESChecker(app.nes, app.topology).check(trace)
+
+
+# The zero-overhead-uninstalled pin for repro.obs: hammer the three
+# hot-path instrumentation entry points (span enter/exit, counter inc,
+# histogram observe) with no registry or tracer installed.  Each site
+# must cost one module-global read and an early return, so this median
+# must not move when instrumentation is added to the codebase — compare
+# it PR over PR like any other lane.
+OBS_NOOP_ITERATIONS = 200_000
+
+
+def _bench_obs_overhead_noop(options: CompileOptions) -> None:
+    assert obs_metrics.active() is None and obs_trace.active() is None
+    span = obs_trace.span
+    inc = obs_metrics.inc
+    observe = obs_metrics.observe
+    for _ in range(OBS_NOOP_ITERATIONS):
+        with span("bench.noop"):
+            pass
+        inc("bench_noop_total")
+        observe("bench_noop_seconds", 0.0)
 
 
 def _bench_trie_heuristic(options: CompileOptions) -> None:
@@ -348,6 +377,7 @@ BENCHES: Tuple[Tuple[str, Callable[[CompileOptions], None]], ...] = (
     ("wide_locality_8x2", _bench_wide_locality),
     ("trace_checker_firewall", _bench_trace_checker),
     ("trie_heuristic_64x20", _bench_trie_heuristic),
+    ("obs_overhead_noop", _bench_obs_overhead_noop),
 )
 
 

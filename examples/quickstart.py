@@ -12,7 +12,11 @@ This walks the full pipeline of the paper on its running example:
 4. execute the operational semantics on a ping workload;
 5. check the resulting network trace against Definition 6;
 6. stream 20k frames through the discrete-event simulator with
-   ``FrameBatch``/``inject_stream`` and report events/sec.
+   ``FrameBatch``/``inject_stream`` and report events/sec;
+7. re-run the compile under the observability layer (``repro.obs``):
+   record a span trace, export it as a Perfetto-loadable Chrome trace
+   file, and print the self-time summary tree next to the metrics the
+   instrumented pipeline recorded.
 
 Run:  python examples/quickstart.py
 """
@@ -161,6 +165,43 @@ def main() -> None:
           f"{len(stream_net.deliveries_to('H4'))} delivered, "
           f"{events} events in {elapsed:.3f}s "
           f"({events / elapsed:,.0f} events/sec)")
+
+    # -- observability: span traces + metrics --------------------------------
+    # Everything above ran with the obs layer uninstalled (each hook is
+    # one module-global check).  Installing a tracer + registry records
+    # a span per pipeline stage, cache access, and per-configuration
+    # compile, and mirrors every health/cache counter into Prometheus
+    # metric families.  The CLI spelling of this block is
+    #   python -m repro compile prog.snk --report --trace out.json
+    #   python -m repro trace summarize out.json
+    import json
+    import tempfile as _tempfile
+
+    from repro.obs import export, metrics, trace as obs_trace
+
+    with metrics.collecting() as registry, obs_trace.recording() as tracer:
+        with obs_trace.span("quickstart.compile"):
+            traced = Pipeline(app.program, app.topology, app.initial_state)
+            traced.compiled
+    with _tempfile.NamedTemporaryFile(
+        "r", suffix=".trace.json", delete=False
+    ) as handle:
+        spans = export.write_chrome_trace(handle.name, tracer)
+        doc = json.load(open(handle.name))
+    assert export.validate_chrome_trace(doc) == [], "trace schema broke"
+    print(f"\nTraced recompile: {spans} spans -> {handle.name} "
+          f"(drag into Perfetto / chrome://tracing)")
+    print("Self-time summary (repro trace summarize):")
+    print(export.format_summary(export.summarize(tracer.finished())))
+    stage_count = registry.histogram(
+        "repro_pipeline_stage_seconds", stage="compile"
+    ).count
+    print(f"\nMetrics recorded alongside: compile-stage observations: "
+          f"{stage_count}; Prometheus exposition (a GET /metrics away "
+          f"when served):")
+    for line in export.prometheus_text(registry).splitlines():
+        if line.startswith("repro_pipeline_stage_seconds_count"):
+            print(f"  {line}")
 
 
 if __name__ == "__main__":

@@ -13,7 +13,9 @@ compilation service for tables instead of linking the compiler:
 3. repeat the request (an in-process memo hit) and push an
    incremental ``Delta`` through ``POST /update``;
 4. read ``GET /health`` and the memo/disk/cold/single-flight hit
-   counters from ``GET /stats``.
+   counters from ``GET /stats``;
+5. scrape ``GET /metrics`` and check the Prometheus text exposition
+   carries the compile-source, request, and latency series.
 
 Run:  python examples/service_demo.py
 
@@ -22,6 +24,7 @@ non-zero if any served artifact deviates from the direct build.
 """
 
 import tempfile
+import urllib.request
 
 from repro import CompileOptions, Delta, Pipeline
 from repro.apps import firewall_app
@@ -104,6 +107,30 @@ def main() -> None:
                 )
             assert stats["compiles"]["memo_hits"] >= 1
             assert stats["compiles"]["cold"] >= 1
+
+            # -- Prometheus exposition ------------------------------------
+            with urllib.request.urlopen(
+                f"{base_url}/metrics", timeout=30
+            ) as resp:
+                content_type = resp.headers["Content-Type"]
+                exposition = resp.read().decode()
+            assert content_type.startswith("text/plain; version=0.0.4"), (
+                f"unexpected /metrics content type: {content_type}"
+            )
+            for needle in (
+                'repro_service_compiles_total{source="cold"} 1',
+                'repro_service_compiles_total{source="memo"} 1',
+                'repro_service_requests_total{endpoint="compile"}',
+                'repro_service_request_latency_seconds{endpoint="compile",quantile="0.5"}',
+                "repro_service_updates_total 1",
+                "repro_service_uptime_seconds",
+            ):
+                assert needle in exposition, f"/metrics missing {needle!r}"
+            scraped = [l for l in exposition.splitlines()
+                       if l.startswith("repro_service_compiles_total")]
+            print("\nGET /metrics -> Prometheus text exposition, e.g.")
+            for line in scraped:
+                print(f"  {line}")
 
     print("\ndaemon shut down cleanly; all served artifacts verified")
 

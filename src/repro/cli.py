@@ -7,14 +7,21 @@ Usage (also via ``python -m repro``)::
     python -m repro compile   program.snk --topology firewall \
                               [--backend serial|thread] [--cache-dir DIR] \
                               [--strict-cache] [--no-symbolic-extract] \
-                              [--no-knowledge-cache] [--report] [--json]
+                              [--no-knowledge-cache] [--report] [--json] \
+                              [--trace OUT.json]
+    python -m repro trace summarize OUT.json
 
 ``--report`` prints the per-stage timing report including the pipeline
 ``health`` counters (executor retries/fallbacks, cache integrity
-rejections, swallowed cache errors); ``health ok`` means nothing was
-absorbed.  ``--report --json`` emits the report as one JSON object
-(the same shape the compilation service serves) instead of the
-human-readable output.
+rejections, swallowed cache errors) and the artifact-cache hit/miss
+load counts; ``health ok`` means nothing was absorbed.  ``--report
+--json`` emits the report as one JSON object (the same shape the
+compilation service serves) instead of the human-readable output.
+``--trace OUT.json`` records a :mod:`repro.obs.trace` span tree of the
+compile (every pipeline stage, cache access, and per-configuration
+compile attempt) and writes it in Chrome trace event format —
+drag-and-drop loadable in Perfetto, or fold it into a self-time
+breakdown with ``trace summarize``.
     python -m repro serve     [--host HOST] [--port PORT] \
                               [--cache-dir DIR] [--strict-cache] \
                               [--memo-size N] [--backend serial|thread]
@@ -44,6 +51,7 @@ ints.
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
 import sys
 from typing import List, Optional, Sequence
@@ -52,6 +60,9 @@ from .events.ets_to_nes import ETSConversionError, check_finite_complete, family
 from .events.locality import is_locally_determined, locality_violations
 from .netkat.flowtable import TagFieldError
 from .netkat.parser import ParseError, parse_policy
+from .obs import export as obs_export
+from .obs import metrics as obs_metrics
+from .obs import trace as obs_trace
 from .optimize.sharing import optimize_compiled_nes
 from .pipeline import BACKENDS, CompileOptions, Delta, Pipeline, PipelineError
 from .runtime.compiler import LocalityError
@@ -158,15 +169,35 @@ def _cmd_compile(args: argparse.Namespace) -> int:
         knowledge_cache=not args.no_knowledge_cache,
     )
     pipeline = Pipeline(program, topology, _initial_of(args.initial), options)
-    try:
-        compiled = pipeline.compiled
-        tables = compiled.guarded_tables()  # tag-collision check runs here
-    except (ETSConversionError, LocalityError, TagFieldError, PipelineError) as exc:
-        print(f"FAIL: {exc}")
-        return 1
+    registry = tracer = None
+    with contextlib.ExitStack() as stack:
+        if args.report or args.trace:
+            # A private registry for this one compile: cache hit/miss
+            # counts for the human --report output (never in to_dict —
+            # that shape is pinned).
+            registry = stack.enter_context(obs_metrics.collecting())
+        if args.trace:
+            tracer = stack.enter_context(obs_trace.recording())
+            stack.enter_context(
+                obs_trace.span("repro.compile", program=args.program)
+            )
+        try:
+            compiled = pipeline.compiled
+            tables = compiled.guarded_tables()  # tag-collision check runs here
+        except (ETSConversionError, LocalityError, TagFieldError, PipelineError) as exc:
+            print(f"FAIL: {exc}")
+            return 1
+    if args.trace:
+        spans = obs_export.write_chrome_trace(args.trace, tracer)
+        trace_note = (
+            f"wrote {spans} span(s) to {args.trace} (Chrome trace; load in "
+            f"Perfetto or `python -m repro trace summarize {args.trace}`)"
+        )
     if args.json:
         # Machine-readable mode: exactly one JSON object on stdout (the
         # PipelineReport.to_dict shape the service also serves).
+        if args.trace:
+            print(trace_note, file=sys.stderr)
         print(json.dumps(pipeline.report().to_dict(), indent=2))
         return 0
     print(f"{compiled}\n")
@@ -179,6 +210,11 @@ def _cmd_compile(args: argparse.Namespace) -> int:
     print(f"total:            {compiled.total_rule_count()}")
     if args.report:
         print(f"\n{pipeline.report()}")
+        hits = int(registry.value("repro_cache_loads_total", result="hit"))
+        misses = int(registry.value("repro_cache_loads_total", result="miss"))
+        print(f"  artifact cache loads: {hits} hit(s), {misses} miss(es)")
+    if args.trace:
+        print(f"\n{trace_note}")
     return 0
 
 
@@ -251,6 +287,34 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
         print(f"{sw.switch:>6d}  {sw.original:>8d}  {sw.optimized:>9d}")
     print(f"{'total':>6s}  {result.original:>8d}  {result.optimized:>9d}  "
           f"({result.savings_fraction * 100:.0f}% saved)")
+    return 0
+
+
+def _cmd_trace_summarize(args: argparse.Namespace) -> int:
+    """Print the self-time breakdown tree of a ``--trace`` output file."""
+    try:
+        with open(args.file, encoding="utf-8") as handle:
+            doc = json.load(handle)
+    except OSError as exc:
+        raise SystemExit(f"cannot read {args.file}: {exc}")
+    except ValueError as exc:
+        raise SystemExit(f"{args.file} is not valid JSON: {exc}")
+    problems = obs_export.validate_chrome_trace(doc)
+    if problems:
+        print(f"FAIL: {args.file} is not a valid Chrome trace:")
+        for problem in problems[:10]:
+            print(f"  {problem}")
+        return 1
+    spans = obs_export.spans_from_chrome(doc)
+    if not spans:
+        print("no spans recorded")
+        return 0
+    tree = obs_export.summarize(spans)
+    print(obs_export.format_summary(tree))
+    total = sum(node["total"] for node in tree)
+    dropped = doc.get("otherData", {}).get("dropped_spans", 0)
+    tail = f"  (+{dropped} dropped)" if dropped else ""
+    print(f"\n{len(spans)} span(s), {total * 1e3:.3f} ms at top level{tail}")
     return 0
 
 
@@ -350,6 +414,14 @@ def build_arg_parser() -> argparse.ArgumentParser:
         help="with --report: emit the report as one JSON object "
         "(PipelineReport.to_dict) instead of the human-readable output",
     )
+    compile_cmd.add_argument(
+        "--trace",
+        default=None,
+        metavar="OUT.json",
+        help="record a span trace of the compile and write it as a "
+        "Chrome trace event file (Perfetto-loadable; inspect with "
+        "`repro trace summarize OUT.json`)",
+    )
     add_program_command("update", _cmd_update,
                         "recompile incrementally after a delta", True)
     update_cmd = sub.choices["update"]
@@ -376,6 +448,18 @@ def build_arg_parser() -> argparse.ArgumentParser:
 
     apps_cmd = sub.add_parser("apps", help="list the built-in case studies")
     apps_cmd.set_defaults(handler=_cmd_apps)
+
+    trace_cmd = sub.add_parser(
+        "trace", help="inspect span traces written by compile --trace"
+    )
+    trace_sub = trace_cmd.add_subparsers(dest="trace_command", required=True)
+    summarize_cmd = trace_sub.add_parser(
+        "summarize", help="print a per-stage total/self-time breakdown tree"
+    )
+    summarize_cmd.add_argument(
+        "file", help="Chrome trace JSON written by `repro compile --trace`"
+    )
+    summarize_cmd.set_defaults(handler=_cmd_trace_summarize)
 
     serve_cmd = sub.add_parser(
         "serve", help="run the compilation-as-a-service daemon"

@@ -27,6 +27,8 @@ from typing import Callable, Dict, FrozenSet, Iterator, List, Optional, Tuple
 
 from ..events.event import Event
 from ..events.nes import NES
+from ..obs import metrics as obs_metrics
+from ..obs import trace as obs_trace
 from ..netkat.compiler import Configuration, compile_policy
 from ..netkat.fdd import FDDBuilder
 from ..sim_options import SimOptions
@@ -90,6 +92,22 @@ class NESChecker:
 
     def check(self, trace: NetworkTrace) -> CorrectnessReport:
         """Is the trace correct with respect to the NES?"""
+        with obs_trace.span("checker.check") as check_span:
+            report = self._check_impl(trace)
+            # sequences_tried stays the legacy per-check attribute; the
+            # registry accumulates the same counts across checks.
+            obs_metrics.inc(
+                "repro_checker_sequences_tried_total",
+                by=self.sequences_tried,
+                help="Definition 2 checks run across all NESChecker.check "
+                     "calls (the lazy candidate-sequence counter)",
+            )
+            check_span.set(
+                sequences_tried=self.sequences_tried, correct=bool(report)
+            )
+            return report
+
+    def _check_impl(self, trace: NetworkTrace) -> CorrectnessReport:
         self.sequences_tried = 0
         masks = (
             position_event_masks(trace, self.nes.structure.universe)

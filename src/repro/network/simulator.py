@@ -47,6 +47,7 @@ from typing import (
 
 from ..events.event import Event, EventSet
 from ..netkat.packet import Location, Packet, PT, SW
+from ..obs import metrics as obs_metrics
 from ..sim_options import SimOptions
 from ..topology import Host, Topology
 
@@ -411,6 +412,11 @@ class Simulator:
 
     def run(self, until: Optional[float] = None, max_events: int = 10_000_000) -> float:
         """Process events in time order; returns the final clock value."""
+        if obs_metrics.active() is not None:
+            # One registry check per run() call (not per event): the
+            # fast drain loops below stay untouched when observability
+            # is uninstalled.
+            return self._run_instrumented(until, max_events)
         heap = self._heap
         pop = heapq.heappop
         processed = self.events_processed
@@ -445,6 +451,46 @@ class Simulator:
                     processed += 1
         finally:
             self.events_processed = processed
+        if heap and processed >= max_events:
+            raise RuntimeError(f"simulation exceeded {max_events} events")
+        return self.now
+
+    def _run_instrumented(
+        self, until: Optional[float], max_events: int
+    ) -> float:
+        """The general event loop plus heap-depth watermarking, taken
+        only when a metrics registry is installed.  Pop order, clock
+        advancement, ``until`` clamping, and the ``max_events`` error
+        are identical to the fast loops in :meth:`run`."""
+        registry = obs_metrics.active()
+        heap = self._heap
+        pop = heapq.heappop
+        processed = self.events_processed
+        start_processed = processed
+        high_water = len(heap)
+        try:
+            while heap and processed < max_events:
+                depth = len(heap)
+                if depth > high_water:
+                    high_water = depth
+                if until is not None and heap[0][0] > until:
+                    self.now = until
+                    return until
+                time, _seq, action = pop(heap)
+                self.now = time
+                action()
+                processed += 1
+        finally:
+            self.events_processed = processed
+            if registry is not None:
+                registry.counter(
+                    "repro_sim_events_processed_total",
+                    "Discrete events processed by Simulator.run",
+                ).inc(processed - start_processed)
+                registry.gauge(
+                    "repro_sim_heap_depth_high_water",
+                    "High-water mark of the scheduler heap depth",
+                ).set_max(high_water)
         if heap and processed >= max_events:
             raise RuntimeError(f"simulation exceeded {max_events} events")
         return self.now
@@ -671,6 +717,9 @@ class _Process:
                 and plan.digest_mask == frame._digest_mask
                 and plan.generation == net._plan_gens[switch_id]
             ):
+                hit_counter = net._m_plan_hit
+                if hit_counter is not None:
+                    hit_counter.inc()
                 # Replay the cached outcome (record-identical to the
                 # full path: same targets in order, same arithmetic).
                 now = sim.now
@@ -779,6 +828,10 @@ class _Process:
                             DropRecord(now, target, out, reason="no-link-at-port")
                         )
                 return
+        if plans is not None:
+            miss_counter = net._m_plan_miss
+            if miss_counter is not None:
+                miss_counter.inc()
         self._full(net, location, frame, plans)
 
     def _full(self, net, location, frame, plans) -> None:
@@ -979,6 +1032,22 @@ class SimNetwork:
         )
         self._header_overhead: Optional[int] = getattr(logic, "header_overhead", None)
         self._ingress_fast = getattr(logic, "ingress_frame", None) if memoize else None
+        # Plan-cache hit/miss counters, pre-resolved once here so the
+        # per-event cost is one attribute load + None check (the
+        # zero-overhead-uninstalled discipline for this hot path; the
+        # registry metric objects are internally locked).
+        registry = obs_metrics.active()
+        if registry is not None and self._plans is not None:
+            help_text = "Simulator per-switch emission-plan cache, by result"
+            self._m_plan_hit: Optional[obs_metrics.Counter] = registry.counter(
+                "repro_sim_plan_cache_total", help_text, result="hit"
+            )
+            self._m_plan_miss: Optional[obs_metrics.Counter] = registry.counter(
+                "repro_sim_plan_cache_total", help_text, result="miss"
+            )
+        else:
+            self._m_plan_hit = None
+            self._m_plan_miss = None
 
     # -- time -----------------------------------------------------------------
 

@@ -47,6 +47,8 @@ from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence,
 
 from . import faults
 from .events.ets_to_nes import nes_of_ets
+from .obs import metrics as obs_metrics
+from .obs import trace as obs_trace
 from .events.nes import NES
 from .netkat import ast as _ast
 from .netkat.ast import Policy
@@ -377,9 +379,18 @@ class ArtifactCache:
     # -- failure bookkeeping ------------------------------------------------
 
     def _count(self, counter: str) -> None:
-        self.health[counter] = self.health.get(counter, 0) + 1
+        obs_metrics.count_health(self.health, counter)
 
     def _warn_once(self, category: str, message: str) -> None:
+        # Counted on EVERY call, not just the first: the warning is
+        # one-shot per cache, but the registry keeps seeing swallowed
+        # failures after the warning is suppressed.
+        obs_metrics.inc(
+            "repro_cache_warnings_total",
+            category=category,
+            help="ArtifactCacheWarning-worthy cache failures by category "
+                 "(counted even after the one-shot warning is suppressed)",
+        )
         if category not in self._warned:
             self._warned.add(category)
             warnings.warn(message, ArtifactCacheWarning, stacklevel=4)
@@ -790,7 +801,7 @@ class Pipeline:
         self._memo_lock = threading.RLock()
 
     def _count(self, counter: str) -> None:
-        self._health[counter] = self._health.get(counter, 0) + 1
+        obs_metrics.count_health(self._health, counter)
 
     @staticmethod
     def _stage_boundary(name: str) -> None:
@@ -801,6 +812,17 @@ class Pipeline:
         except faults.FaultInjected as exc:
             raise StageError(name, f"stage {name!r} failed: {exc}") from exc
 
+    @staticmethod
+    def _observe_stage(stage: str, seconds: float) -> None:
+        """Mirror a recorded stage timing into the installed registry
+        (the ``_stage_seconds`` dict stays the legacy report view)."""
+        obs_metrics.observe(
+            "repro_pipeline_stage_seconds",
+            seconds,
+            stage=stage,
+            help="Wall-clock seconds per pipeline stage run, by stage",
+        )
+
     # -- staged artifacts ---------------------------------------------------
 
     @property
@@ -809,32 +831,39 @@ class Pipeline:
             with self._memo_lock:
                 if self._ets is None:
                     self._stage_boundary("ets")
-                    start = time.perf_counter()
-                    if self.options.symbolic_extract:
-                        # The symbolic path splits into the one-shot
-                        # partial evaluation and the per-state BFS
-                        # instantiation; the report carries both (the
-                        # "ets.*" substages) alongside the stage total.
-                        # The engine is retained: update() diffs it
-                        # against the post-delta program's to localize
-                        # a delta's blast radius.
-                        symbolic = SymbolicProgram(self.program)
-                        mid = time.perf_counter()
-                        ets = build_ets(
-                            self.program, self.initial_state, symbolic=symbolic
-                        )
-                        end = time.perf_counter()
-                        self._substage_seconds["ets.symbolic"] = mid - start
-                        self._substage_seconds["ets.instantiate"] = end - mid
-                        self._symbolic = symbolic
-                    else:
-                        ets = build_ets(
-                            self.program,
-                            self.initial_state,
-                            symbolic_extract=False,
-                        )
-                        end = time.perf_counter()
+                    with obs_trace.span("ets") as stage_span:
+                        start = time.perf_counter()
+                        if self.options.symbolic_extract:
+                            # The symbolic path splits into the one-shot
+                            # partial evaluation and the per-state BFS
+                            # instantiation; the report carries both (the
+                            # "ets.*" substages) alongside the stage total.
+                            # The engine is retained: update() diffs it
+                            # against the post-delta program's to localize
+                            # a delta's blast radius.
+                            with obs_trace.span("ets.symbolic"):
+                                symbolic = SymbolicProgram(self.program)
+                            mid = time.perf_counter()
+                            with obs_trace.span("ets.instantiate"):
+                                ets = build_ets(
+                                    self.program,
+                                    self.initial_state,
+                                    symbolic=symbolic,
+                                )
+                            end = time.perf_counter()
+                            self._substage_seconds["ets.symbolic"] = mid - start
+                            self._substage_seconds["ets.instantiate"] = end - mid
+                            self._symbolic = symbolic
+                        else:
+                            ets = build_ets(
+                                self.program,
+                                self.initial_state,
+                                symbolic_extract=False,
+                            )
+                            end = time.perf_counter()
+                        stage_span.set(states=len(ets.states()))
                     self._stage_seconds["ets"] = end - start
+                    self._observe_stage("ets", end - start)
                     self._ets = ets
         return self._ets
 
@@ -854,11 +883,13 @@ class Pipeline:
                     else:
                         ets = self.ets
                         self._stage_boundary("nes")
-                        start = time.perf_counter()
-                        nes = nes_of_ets(ets)
-                        self._stage_seconds["nes"] = (
-                            time.perf_counter() - start
-                        )
+                        with obs_trace.span("nes") as stage_span:
+                            start = time.perf_counter()
+                            nes = nes_of_ets(ets)
+                            seconds = time.perf_counter() - start
+                            stage_span.set(events=len(nes.events))
+                        self._stage_seconds["nes"] = seconds
+                        self._observe_stage("nes", seconds)
                         self._nes = nes
         return self._nes
 
@@ -871,16 +902,18 @@ class Pipeline:
                 if self._compiled is None:
                     nes = self.nes
                     self._stage_boundary("compile")
-                    start = time.perf_counter()
-                    compiled = compile_nes(
-                        nes,
-                        self.topology,
-                        options=self.options,
-                        health=self._health,
-                    )
-                    self._stage_seconds["compile"] = (
-                        time.perf_counter() - start
-                    )
+                    with obs_trace.span("compile") as stage_span:
+                        start = time.perf_counter()
+                        compiled = compile_nes(
+                            nes,
+                            self.topology,
+                            options=self.options,
+                            health=self._health,
+                        )
+                        seconds = time.perf_counter() - start
+                        stage_span.set(configurations=len(compiled.states))
+                    self._stage_seconds["compile"] = seconds
+                    self._observe_stage("compile", seconds)
                     self._compiled = compiled
                     self._store_artifact()
         return self._compiled
@@ -891,7 +924,13 @@ class Pipeline:
         if cache is None or self._compiled is None:
             return
         try:
-            cache.store(self.artifact_key(), self._compiled)
+            with obs_trace.span("cache.store"):
+                cache.store(self.artifact_key(), self._compiled)
+            obs_metrics.inc(
+                "repro_cache_stores_total",
+                result="ok",
+                help="Artifact cache stores by result",
+            )
         except Exception as exc:
             # The cache is an accelerator, never a gate: a full
             # or unwritable cache_dir, or an artifact pickle
@@ -899,6 +938,11 @@ class Pipeline:
             # succeeded.  But it must not vanish either — the
             # cause is warned once and counted in health.
             self._count("cache.store_error")
+            obs_metrics.inc(
+                "repro_cache_stores_total",
+                result="error",
+                help="Artifact cache stores by result",
+            )
             warnings.warn(
                 f"artifact cache store failed ({exc!r}); the "
                 "compiled tables are unaffected but the cache "
@@ -919,7 +963,14 @@ class Pipeline:
         if cache is None:
             return
         start = time.perf_counter()
-        loaded = cache.load(self.artifact_key())
+        with obs_trace.span("cache.load") as load_span:
+            loaded = cache.load(self.artifact_key())
+            load_span.set(result="hit" if loaded is not None else "miss")
+        obs_metrics.inc(
+            "repro_cache_loads_total",
+            result="hit" if loaded is not None else "miss",
+            help="Artifact cache loads by result",
+        )
         if loaded is not None:
             # The artifact was stored under possibly different
             # execution-only options (they are excluded from the key);
@@ -932,7 +983,9 @@ class Pipeline:
                 }
             )
             self._artifact_cache_state = "hit"
-            self._stage_seconds["compile"] = time.perf_counter() - start
+            seconds = time.perf_counter() - start
+            self._stage_seconds["compile"] = seconds
+            self._observe_stage("compile", seconds)
             self._compiled = loaded
         else:
             self._artifact_cache_state = "miss"
@@ -975,6 +1028,10 @@ class Pipeline:
         cache configured the artifact is consulted under — and stored
         to — that key, so the cache stays correct.
         """
+        with obs_trace.span("pipeline.update"):
+            return self._update(delta)
+
+    def _update(self, delta: Delta) -> "Pipeline":
         t_delta = time.perf_counter()
         new_program = delta.apply_program(self.program)
         new_topology = delta.apply_topology(self.topology)
@@ -1067,12 +1124,18 @@ class Pipeline:
         source = _PatchedInstantiation(
             fresh_edges, fresh_config, old_ets, edge_guards, cell_guards
         )
-        new_ets = build_ets(new_program, new_initial, symbolic=source)
+        with obs_trace.span("update.reinstantiate") as ets_span:
+            new_ets = build_ets(new_program, new_initial, symbolic=source)
+            ets_span.set(
+                fresh_states=len(source.fresh),
+                reused_states=len(source.seen) - len(source.fresh),
+            )
         ets_seconds = time.perf_counter() - t_ets
         lazy_sym_seconds = sym_seconds - eager_sym_seconds
         updated._ets = new_ets
         updated._symbolic = symbolic
         updated._stage_seconds["ets"] = ets_seconds + eager_sym_seconds
+        self._observe_stage("ets", ets_seconds + eager_sym_seconds)
         if self.options.symbolic_extract:
             updated._substage_seconds["ets.symbolic"] = sym_seconds
             updated._substage_seconds["ets.instantiate"] = (
@@ -1094,8 +1157,11 @@ class Pipeline:
         else:
             self._stage_boundary("nes")
             t_nes = time.perf_counter()
-            updated._nes = nes_of_ets(new_ets)
-            updated._stage_seconds["nes"] = time.perf_counter() - t_nes
+            with obs_trace.span("nes"):
+                updated._nes = nes_of_ets(new_ets)
+            nes_seconds = time.perf_counter() - t_nes
+            updated._stage_seconds["nes"] = nes_seconds
+            self._observe_stage("nes", nes_seconds)
         nes = updated._nes
 
         # Stage 3: compile, adopting every configuration whose policy
@@ -1112,14 +1178,17 @@ class Pipeline:
                 new_policy = nes.configuration_policy(state)
                 if new_policy is old_policy or new_policy == old_policy:
                     reuse[state] = previous
-        updated._compiled = compile_nes(
-            nes,
-            new_topology,
-            options=self.options,
-            health=updated._health,
-            reuse_configurations=reuse,
-        )
-        updated._stage_seconds["compile"] = time.perf_counter() - t_compile
+        with obs_trace.span("compile", reused_configurations=len(reuse)):
+            updated._compiled = compile_nes(
+                nes,
+                new_topology,
+                options=self.options,
+                health=updated._health,
+                reuse_configurations=reuse,
+            )
+        compile_seconds = time.perf_counter() - t_compile
+        updated._stage_seconds["compile"] = compile_seconds
+        self._observe_stage("compile", compile_seconds)
         updated._store_artifact()
 
         total = len(updated._compiled.states)

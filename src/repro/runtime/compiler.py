@@ -26,6 +26,8 @@ from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Tuple
 
 from .. import faults
 from ..events.event import Event, EventSet
+from ..obs import metrics as obs_metrics
+from ..obs import trace as obs_trace
 from ..events.locality import is_locally_determined, locality_violations
 from ..events.nes import NES
 from ..netkat.compiler import Configuration, compile_policy
@@ -121,7 +123,7 @@ def _compile_configurations(
     health = health if health is not None else {}
 
     def count(counter: str) -> None:
-        health[counter] = health.get(counter, 0) + 1
+        obs_metrics.count_health(health, counter)
 
     reuse = reuse if reuse is not None else {}
     pending: Tuple[StateVector, ...] = tuple(
@@ -155,34 +157,45 @@ def _compile_configurations(
         while True:
             check_deadline()
             try:
-                faults.check("executor.worker")
-                return compile_policy(
-                    nes.configuration_policy(state),
-                    topology,
-                    builder=b,
-                    name=f"C{list(state)}",
-                    knowledge_cache=options.knowledge_cache,
-                    max_frontier=options.max_frontier,
-                )
+                with obs_trace.span(
+                    "compile.configuration",
+                    configuration=f"C{list(state)}",
+                    attempt=attempt,
+                ):
+                    faults.check("executor.worker")
+                    return compile_policy(
+                        nes.configuration_policy(state),
+                        topology,
+                        builder=b,
+                        name=f"C{list(state)}",
+                        knowledge_cache=options.knowledge_cache,
+                        max_frontier=options.max_frontier,
+                    )
             except PipelineError:
                 raise  # typed failures (e.g. deadline) are not transient
             except Exception:
                 if attempt >= retries:
                     raise
                 count("executor.retries")
-                time.sleep(_backoff_delay(attempt))
+                with obs_trace.span("compile.backoff", attempt=attempt):
+                    time.sleep(_backoff_delay(attempt))
                 attempt += 1
 
     if shard and options.backend == "thread" and len(pending) > 1:
         try:
             local = threading.local()
+            # ThreadPoolExecutor workers run in the pool thread's empty
+            # context, so the submitting stage's span does not propagate
+            # by itself; capture it here and re-attach per work item.
+            trace_parent = obs_trace.current()
 
             def worker(state: StateVector) -> Configuration:
                 worker_builder = getattr(local, "builder", None)
                 if worker_builder is None:
                     worker_builder = options.make_builder()
                     local.builder = worker_builder
-                return compile_with(worker_builder, state)
+                with obs_trace.attach(trace_parent):
+                    return compile_with(worker_builder, state)
 
             with ThreadPoolExecutor(max_workers=options.max_workers) as pool:
                 configs = list(pool.map(worker, pending))

@@ -22,6 +22,7 @@ import urllib.request
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from ..netkat.ast import Policy
+from ..obs import trace as obs_trace
 from ..pipeline import Delta
 from ..topology import Topology
 from . import protocol
@@ -50,11 +51,26 @@ class ServiceError(Exception):
 
 
 class ServiceClient:
-    """One compilation daemon, addressed by base URL."""
+    """One compilation daemon, addressed by base URL.
 
-    def __init__(self, base_url: str, timeout: float = 30.0):
+    Tracing: every request carries an ``X-Repro-Trace-Id`` header when
+    an ID is available — the explicit ``trace_id`` constructor argument,
+    else the current :mod:`repro.obs.trace` span's trace ID (so a
+    client used inside a ``trace.span(...)`` block correlates its
+    requests automatically).  The server echoes the effective ID;
+    :attr:`last_trace_id` holds the most recent echo.
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 30.0,
+        trace_id: Optional[str] = None,
+    ):
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.trace_id = trace_id
+        self.last_trace_id: Optional[str] = None
 
     # -- transport ----------------------------------------------------------
 
@@ -65,16 +81,22 @@ class ServiceClient:
         body: Optional[Mapping[str, Any]] = None,
         allow_error_status: bool = False,
     ) -> Tuple[int, Dict[str, Any]]:
+        headers = {"Content-Type": "application/json"}
+        trace_id = self.trace_id or obs_trace.current_trace_id()
+        if trace_id is not None:
+            headers["X-Repro-Trace-Id"] = trace_id
         request = urllib.request.Request(
             f"{self.base_url}{path}",
             data=json.dumps(body).encode() if body is not None else None,
-            headers={"Content-Type": "application/json"},
+            headers=headers,
             method=method,
         )
         try:
             with urllib.request.urlopen(request, timeout=self.timeout) as resp:
+                self.last_trace_id = resp.headers.get("X-Repro-Trace-Id")
                 return resp.status, json.loads(resp.read())
         except urllib.error.HTTPError as exc:
+            self.last_trace_id = exc.headers.get("X-Repro-Trace-Id")
             try:
                 payload = json.loads(exc.read())
             except (ValueError, OSError):

@@ -23,6 +23,7 @@ import os
 import sys
 from typing import Optional, Sequence
 
+from ..obs import metrics as obs_metrics
 from ..pipeline import BACKENDS, CompileOptions
 from .server import create_server
 from .state import DEFAULT_MEMO_SIZE
@@ -84,6 +85,15 @@ def add_serve_arguments(parser: argparse.ArgumentParser) -> None:
 
 def run(args: argparse.Namespace) -> int:
     """Build the server from parsed flags and serve until interrupted."""
+    # Install the process-wide metrics registry before the server state
+    # is built: the state adopts it, so GET /metrics covers the hot-path
+    # pipeline/cache/executor instrumentation, not just the scrape-time
+    # service collectors.  (Idempotent when already installed — e.g. a
+    # supervising process that installed its own registry first.)
+    try:
+        obs_metrics.install()
+    except RuntimeError:
+        pass  # a different registry is already installed; adopt it
     options = CompileOptions(
         backend=args.backend,
         cache_dir=args.cache_dir,

@@ -21,6 +21,9 @@ Endpoints:
   strict-cache integrity error has surfaced.
 - ``GET /stats`` — request counts + latency quantiles per endpoint,
   memo/disk/cold/single-flight compile counters, memo occupancy.
+- ``GET /metrics`` — Prometheus text exposition of the service's
+  metrics registry (the installed process-wide one under the launcher,
+  else a state-private registry fed by scrape-time collectors).
 - ``GET /version`` — package/protocol/artifact-format versions.
 - ``GET /`` — endpoint index.
 
@@ -28,6 +31,11 @@ Every failure maps to a structured JSON body (`protocol.error_to_wire`)
 with a machine-readable ``type``/``code`` — and stage provenance for
 typed :class:`~repro.pipeline.PipelineError`\\ s; nothing returns a bare
 500.
+
+Tracing: each dispatched request runs under a root span named
+``service.<endpoint>``.  A client-supplied ``X-Repro-Trace-Id`` header
+joins the request to the caller's trace; the effective trace ID is
+echoed in the response header and stamped into structured error JSON.
 """
 
 from __future__ import annotations
@@ -43,6 +51,8 @@ from typing import Any, Dict, Iterator, Mapping, Optional, Tuple
 from .. import __version__
 from ..events.ets_to_nes import ETSConversionError
 from ..netkat.flowtable import TagFieldError
+from ..obs import export as obs_export
+from ..obs import trace as obs_trace
 from ..pipeline import (
     ARTIFACT_FORMAT,
     ArtifactIntegrityError,
@@ -61,8 +71,28 @@ _ENDPOINTS = (
     "POST /update",
     "GET /health",
     "GET /stats",
+    "GET /metrics",
     "GET /version",
 )
+
+# The distributed-tracing correlation header: accepted on any request,
+# echoed on every response, and stamped into structured error JSON.
+TRACE_HEADER = "X-Repro-Trace-Id"
+_TRACE_ID_MAX = 64
+
+
+def _sanitize_trace_id(raw: Optional[str]) -> Optional[str]:
+    """A client-supplied trace ID, or None when absent/unusable.  IDs
+    are echoed into response headers, so anything beyond a short
+    token-safe string is discarded rather than reflected."""
+    if not raw:
+        return None
+    raw = raw.strip()
+    if not raw or len(raw) > _TRACE_ID_MAX:
+        return None
+    if not all(c.isalnum() or c in "-_." for c in raw):
+        return None
+    return raw
 
 # Bodies above this are refused outright (a compile request is a program
 # plus a topology, not a bulk upload).
@@ -120,17 +150,28 @@ class _Handler(BaseHTTPRequestHandler):
 
     server: CompilationServer  # narrowed for the helpers below
 
+    # The sanitized (or span-minted) trace ID of the request currently
+    # being dispatched on this handler; set by _dispatch.
+    _request_trace_id: Optional[str] = None
+
     # -- plumbing -----------------------------------------------------------
 
     def log_message(self, format: str, *args) -> None:  # noqa: A002
         if self.server.verbose:
             super().log_message(format, *args)
 
-    def _send_json(self, status: int, body: Mapping[str, Any]) -> None:
+    def _send_json(
+        self,
+        status: int,
+        body: Mapping[str, Any],
+        trace_id: Optional[str] = None,
+    ) -> None:
         payload = json.dumps(body).encode()
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(payload)))
+        if trace_id is not None:
+            self.send_header(TRACE_HEADER, trace_id)
         self.end_headers()
         self.wfile.write(payload)
 
@@ -160,19 +201,38 @@ class _Handler(BaseHTTPRequestHandler):
             # The strict-cache tripwire: counted so /health goes (and
             # stays) non-200 for the fleet's monitoring to see.
             self.server.state.stats.count("errors.integrity")
-        return status, {"error": protocol.error_to_wire(exc)}
+        error = protocol.error_to_wire(exc)
+        trace_id = obs_trace.current_trace_id() or self._request_trace_id
+        if trace_id is not None:
+            # Structured errors carry the request's trace ID so a
+            # failure seen client-side correlates with the server's
+            # spans (and with the client's own trace).
+            error["trace_id"] = trace_id
+        return status, {"error": error}
 
     def _dispatch(self, endpoint: str, handler) -> None:
         state = self.server.state
+        client_trace_id = _sanitize_trace_id(self.headers.get(TRACE_HEADER))
+        self._request_trace_id = client_trace_id
         start = time.perf_counter()
-        try:
-            status, body = handler()
-        except BaseException as exc:  # every failure becomes structured JSON
-            status, body = self._fail(exc)
+        # The per-request root span.  Handler threads each run in their
+        # own (empty) contextvars context, so this span becomes the
+        # whole request's parent; a client-supplied trace ID joins the
+        # request to the caller's trace.
+        with obs_trace.span(
+            f"service.{endpoint}", trace_id=client_trace_id
+        ) as request_span:
+            trace_id = obs_trace.current_trace_id() or client_trace_id
+            self._request_trace_id = trace_id
+            try:
+                status, body = handler()
+            except BaseException as exc:  # every failure becomes structured JSON
+                status, body = self._fail(exc)
+            request_span.set(status=status)
         state.stats.record_request(
             endpoint, time.perf_counter() - start, error=status >= 400
         )
-        self._send_json(status, body)
+        self._send_json(status, body, trace_id=trace_id)
 
     # -- request cores ------------------------------------------------------
 
@@ -255,6 +315,8 @@ class _Handler(BaseHTTPRequestHandler):
             self._dispatch(
                 "stats", lambda: (200, self.server.state.stats_body())
             )
+        elif self.path == "/metrics":
+            self._handle_metrics()
         elif self.path == "/version":
             self._dispatch("version", lambda: (200, _version_body()))
         elif self.path == "/":
@@ -316,6 +378,24 @@ class _Handler(BaseHTTPRequestHandler):
     def _handle_health(self) -> Tuple[int, Dict[str, Any]]:
         ok, body = self.server.state.health_body()
         return (200 if ok else 503), body
+
+    def _handle_metrics(self) -> None:
+        """``GET /metrics``: Prometheus text exposition of the state's
+        registry.  Plain text (exposition format 0.0.4), so it bypasses
+        the JSON dispatch plumbing; still counted in the request stats."""
+        state = self.server.state
+        start = time.perf_counter()
+        payload = obs_export.prometheus_text(state.registry).encode("utf-8")
+        self.send_response(200)
+        self.send_header(
+            "Content-Type", "text/plain; version=0.0.4; charset=utf-8"
+        )
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+        state.stats.record_request(
+            "metrics", time.perf_counter() - start, error=False
+        )
 
 
 def _version_body() -> Dict[str, Any]:

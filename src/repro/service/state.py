@@ -30,6 +30,7 @@ import time
 from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 from ..netkat.ast import Policy
+from ..obs import metrics as obs_metrics
 from ..pipeline import CompileOptions, Delta, Pipeline
 from ..topology import Topology
 
@@ -155,6 +156,19 @@ class ServiceState:
         self._evicted_health: Dict[str, int] = {}
         self._flight_lock = threading.Lock()
         self._flights: Dict[str, threading.Lock] = {}
+        # The registry GET /metrics renders.  Adopt the process-wide
+        # installed one when present (the production launcher installs
+        # it, so pipeline/cache/simulator instrumentation lands there
+        # too); otherwise own a private registry — never installed, so
+        # a test's serve_in_thread daemon cannot leak process state.
+        # Service-level series (requests, latency quantiles, compile
+        # sources, memo occupancy) are scrape-time collectors over
+        # ServiceStats: no double bookkeeping on the request hot path.
+        installed = obs_metrics.active()
+        self.registry = (
+            installed if installed is not None else obs_metrics.MetricsRegistry()
+        )
+        self.registry.register_collector(self._metric_samples)
 
     # -- options ------------------------------------------------------------
 
@@ -182,8 +196,16 @@ class ServiceState:
 
     def memo_put(self, key: str, pipeline: Pipeline) -> None:
         with self._memo_lock:
+            replaced = self._memo.get(key)
             self._memo[key] = pipeline
             self._memo.move_to_end(key)
+            if replaced is not None and replaced is not pipeline:
+                # Replacing a resident key (e.g. an /update whose
+                # post-delta key is already memoized) drops the old
+                # pipeline from the live scan without an eviction pop;
+                # fold its counters here — exactly once, like an
+                # eviction — so its health history is not lost.
+                self._fold_health(replaced)
             while len(self._memo) > self.memo_size:
                 _, evicted = self._memo.popitem(last=False)
                 self.stats.count("memo.evictions")
@@ -191,10 +213,15 @@ class ServiceState:
                 # cumulative total exactly once, so /health keeps the
                 # full daemon history without double-counting the live
                 # scan below.
-                for counter, value in evicted.report().health.items():
-                    self._evicted_health[counter] = (
-                        self._evicted_health.get(counter, 0) + value
-                    )
+                self._fold_health(evicted)
+
+    def _fold_health(self, pipeline: Pipeline) -> None:
+        """Accumulate a memo-departing pipeline's health counters into
+        the cumulative total (caller holds ``_memo_lock``)."""
+        for counter, value in pipeline.report().health.items():
+            self._evicted_health[counter] = (
+                self._evicted_health.get(counter, 0) + value
+            )
 
     def memo_snapshot(self) -> Dict[str, Any]:
         with self._memo_lock:
@@ -294,6 +321,87 @@ class ServiceState:
             "strict_cache": self.base_options.strict_cache,
             "memo": self.memo_snapshot(),
         }
+
+    def _metric_samples(self):
+        """Scrape-time collector: ServiceStats, compile sources, memo
+        occupancy, and aggregated health as Prometheus samples.
+
+        Derived at collect() time from the structures the JSON endpoints
+        already maintain, so the request hot path writes each fact once.
+        Aggregated health is exported under its own service-level name —
+        ``repro_pipeline_health_total`` belongs to the hot-path mirror
+        and must not be duplicated by a collector.
+        """
+        snapshot = self.stats.snapshot()
+        samples = []
+        for endpoint, data in snapshot["endpoints"].items():
+            samples.append((
+                "repro_service_requests_total", "counter",
+                {"endpoint": endpoint}, data["count"],
+                "Requests handled, by endpoint",
+            ))
+            samples.append((
+                "repro_service_errors_total", "counter",
+                {"endpoint": endpoint}, data["errors"],
+                "Requests answered with a >=400 status, by endpoint",
+            ))
+            for quantile_key, quantile in (
+                ("p50_ms", "0.5"), ("p90_ms", "0.9"), ("p99_ms", "0.99"),
+            ):
+                ms = data["latency"].get(quantile_key)
+                if ms is not None:
+                    samples.append((
+                        "repro_service_request_latency_seconds", "gauge",
+                        {"endpoint": endpoint, "quantile": quantile},
+                        ms / 1000.0,
+                        "Request latency quantiles over the bounded "
+                        "per-endpoint sample window",
+                    ))
+        counters = snapshot["counters"]
+        for source, counter in (
+            ("memo", "compile.memo_hits"),
+            ("disk", "compile.disk_hits"),
+            ("cold", "compile.cold"),
+            ("coalesced", "compile.singleflight_coalesced"),
+        ):
+            samples.append((
+                "repro_service_compiles_total", "counter",
+                {"source": source}, counters.get(counter, 0),
+                "Compiles served, by source (memo/disk/cold/"
+                "single-flight coalesced)",
+            ))
+        samples.append((
+            "repro_service_updates_total", "counter", {},
+            counters.get("update.applied", 0),
+            "Incremental /update recompilations applied",
+        ))
+        memo = self.memo_snapshot()
+        samples.append((
+            "repro_service_memo_pipelines", "gauge", {}, memo["size"],
+            "Pipelines resident in the in-process memo",
+        ))
+        samples.append((
+            "repro_service_memo_capacity", "gauge", {}, memo["capacity"],
+            "Configured pipeline-memo capacity",
+        ))
+        samples.append((
+            "repro_service_memo_evictions_total", "counter", {},
+            memo["evictions"],
+            "Pipelines evicted from the memo LRU",
+        ))
+        samples.append((
+            "repro_service_uptime_seconds", "gauge", {},
+            snapshot["uptime_seconds"],
+            "Seconds since the service state was created",
+        ))
+        for counter, value in sorted(self.aggregated_health().items()):
+            samples.append((
+                "repro_service_health_total", "counter",
+                {"counter": counter}, value,
+                "Aggregated pipeline health counters (evicted + live "
+                "memoized pipelines), by legacy counter name",
+            ))
+        return samples
 
     def stats_body(self) -> Dict[str, Any]:
         """The ``GET /stats`` body: request counts and latency
